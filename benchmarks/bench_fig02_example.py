@@ -1,0 +1,54 @@
+"""Example 4.1 / Figure 2 micro-benchmark.
+
+Validates the worked example's exact values once, then benchmarks the raw
+WFA `analyzeQuery` kernel — the inner loop every experiment pays per
+statement and per part.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.wfa import WFA, TransitionCosts
+from repro.db import Index
+
+from synth_bench import make_part_instance
+
+
+def test_example_41_kernel(benchmark):
+    a = Index("db.t", ("c",))
+    costs = {
+        "q1": {frozenset(): 15.0, frozenset({a}): 5.0},
+        "q2": {frozenset(): 20.0, frozenset({a}): 2.0},
+        "q3": {frozenset(): 15.0, frozenset({a}): 20.0},
+    }
+    transitions = TransitionCosts(create={a: 20.0}, drop={a: 0.0})
+
+    def run_example():
+        wfa = WFA([a], frozenset(), lambda q, X: costs[q][frozenset(X)], transitions)
+        recs = [wfa.analyze_statement(q) for q in ("q1", "q2", "q3")]
+        return wfa, recs
+
+    wfa, recs = benchmark(run_example)
+    assert [len(r) for r in recs] == [0, 1, 1]
+    assert wfa.work_value(frozenset()) == 42.0
+    assert wfa.work_value({a}) == 47.0
+    scores = wfa.scores()
+    assert scores[frozenset()] == 62.0
+    assert scores[frozenset({a})] == 47.0
+
+
+def test_wfa_analyze_kernel_8_indices(benchmark):
+    """Throughput of one analyzeQuery over a 2^8-state part."""
+    rng = random.Random(0)
+    wfa, statements = make_part_instance(rng, part_size=8, n_statements=32)
+    for statement in statements[:16]:
+        wfa.analyze_statement(statement)
+
+    remaining = statements[16:]
+
+    def analyze_batch():
+        for statement in remaining:
+            wfa.analyze_statement(statement)
+
+    benchmark(analyze_batch)

@@ -1,0 +1,31 @@
+"""Figure 8: baseline performance evaluation.
+
+Regenerates the total-work-ratio curves for WFIT under stateCnt ∈
+{2000, 500, 100}, WFIT-IND, and BC, all normalized to OPT over the same
+fixed candidate set. Expected shape (paper): graceful degradation from
+2000 to 100, a clearly larger drop for WFIT-IND, and BC well below WFIT
+(~0.65 vs >0.9 of OPT at the end of the workload on the authors' testbed).
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure8_baseline
+
+
+def test_figure8_baseline(benchmark, context, save_result):
+    result = benchmark.pedantic(
+        figure8_baseline, args=(context,), rounds=1, iterations=1
+    )
+    save_result(result)
+
+    final = {label: result.final_ratio(label) for label in result.curves}
+    # Shape assertions from the paper: WFIT dominates the independence
+    # variant, which in turn beats BC; coarser stateCnt degrades gracefully.
+    assert final["WFIT-2000"] >= final["WFIT-IND"] - 0.05
+    assert final["WFIT-500"] >= final["WFIT-IND"] - 0.05
+    assert final["WFIT-2000"] > final["BC"]
+    assert final["WFIT-500"] > final["BC"]
+    assert final["WFIT-IND"] > final["BC"] - 0.02
+    # All online algorithms stay within the feasible band.
+    for label, value in final.items():
+        assert 0.0 < value <= 1.5, (label, value)

@@ -1,0 +1,28 @@
+"""Figure 9: the effect of DBA feedback.
+
+Regenerates the GOOD / WFIT / BAD curves: a prescient DBA casts votes
+aligned with (GOOD) or opposed to (BAD) the offline-optimal schedule.
+Expected shape (paper): GOOD lifts the baseline toward OPT; BAD initially
+drags it down but WFIT recovers from the erroneous votes instead of
+collapsing (paper: still >0.9 by the end of the workload).
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure9_feedback
+
+
+def test_figure9_feedback(benchmark, context, save_result):
+    result = benchmark.pedantic(
+        figure9_feedback, args=(context,), rounds=1, iterations=1
+    )
+    save_result(result)
+
+    final = {label: result.final_ratio(label) for label in result.curves}
+    assert final["GOOD"] > final["WFIT"], "good feedback must help"
+    assert final["BAD"] <= final["WFIT"] + 1e-9, "bad feedback must not help"
+    # Recovery: bad advice degrades but does not destroy performance.
+    assert final["BAD"] > 0.5 * final["WFIT"]
+
+    # GOOD should end close to OPT (paper: within ~10%).
+    assert final["GOOD"] > 0.8

@@ -1,0 +1,24 @@
+"""Figure 10: DBA feedback under the independence assumption.
+
+WFIT-IND keeps every index in a singleton part (doi ≡ 0), so its internal
+statistics are knowingly inaccurate. The experiment shows that good DBA
+feedback still improves its recommendations significantly — the scenario
+where semi-automatic tuning shines because automated analysis alone is
+handicapped. (The paper omits the BAD variant here as too artificial.)
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure10_feedback_independent
+
+
+def test_figure10_feedback_independent(benchmark, context, save_result):
+    result = benchmark.pedantic(
+        figure10_feedback_independent, args=(context,), rounds=1, iterations=1
+    )
+    save_result(result)
+
+    final = {label: result.final_ratio(label) for label in result.curves}
+    assert final["GOOD-IND"] > final["WFIT-IND"], (
+        "good feedback must lift the handicapped independence variant"
+    )

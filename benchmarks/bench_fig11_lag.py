@@ -1,0 +1,25 @@
+"""Figure 11: the effect of delayed DBA responses.
+
+The DBA requests and accepts WFIT's recommendation every T statements
+(T ∈ {1, 25, 50, 75}); acceptance casts the lease-renewing implicit
+feedback. Expected shape (paper): T=1 is full autonomy; larger lags lose
+performance because most indices are beneficial only for short windows,
+but the degradation flattens out rather than growing without bound.
+"""
+
+from __future__ import annotations
+
+from repro.bench import figure11_lag
+
+
+def test_figure11_lag(benchmark, context, save_result):
+    result = benchmark.pedantic(
+        figure11_lag, args=(context,), rounds=1, iterations=1
+    )
+    save_result(result)
+
+    final = {label: result.final_ratio(label) for label in result.curves}
+    assert final["WFIT"] >= final["LAG 25"], "lag must not beat full autonomy"
+    assert final["LAG 25"] >= final["LAG 50"] - 0.05
+    # Degradation does not explode: LAG 75 keeps a sane fraction of OPT.
+    assert final["LAG 75"] > 0.25

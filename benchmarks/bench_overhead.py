@@ -1,0 +1,28 @@
+"""§6.2 overhead numbers: per-statement analysis cost.
+
+The paper reports ≈300 ms/query for the Java-over-DB2 prototype, 5–100
+what-if optimizations per query, and that stateCnt=100 cuts overhead ~25×
+vs 2000 (complexity grows quadratically with stateCnt). Machine-independent
+comparison here is optimizer *optimizations* per statement; wall-clock is
+reported for the pure-Python substrate.
+"""
+
+from __future__ import annotations
+
+from repro.bench import overhead_table
+
+
+def test_overhead(benchmark, context, save_result):
+    result = benchmark.pedantic(
+        overhead_table, args=(context,), rounds=1, iterations=1
+    )
+    save_result(result)
+
+    # stateCnt=100 must be cheaper per statement than stateCnt=2000 in
+    # tracked-state terms; wall-clock follows on any reasonable machine.
+    ms_2000 = result.curves["WFIT-2000"][1]
+    ms_100 = result.curves["WFIT-100"][1]
+    assert ms_100 <= ms_2000 * 1.5
+    # The cached what-if interface answers most lookups without optimizing.
+    for label in ("WFIT-2000", "WFIT-500", "WFIT-100"):
+        assert result.curves[label][2] <= result.curves[label][3] + 1e-9

@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Scale via environment variables (defaults keep CI fast):
+
+* ``REPRO_BENCH_STATEMENTS=200`` reproduces the paper's 8×200 workload.
+* ``REPRO_BENCH_SCALE=1.0`` reproduces the full-size catalogs.
+
+Each benchmark prints its figure's table (run with ``-s`` to see it) and
+writes it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import ExperimentContext, get_context
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The shared experiment context (built once per session)."""
+    return get_context()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Print a figure table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        table = result.format_table()
+        print()
+        print(table)
+        slug = result.name.lower().replace(" ", "_")
+        (RESULTS_DIR / f"{slug}.txt").write_text(table + "\n")
+
+    return _save

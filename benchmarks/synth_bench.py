@@ -1,0 +1,38 @@
+"""Synthetic helpers for the micro-benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.wfa import WFA, TransitionCosts
+from repro.db import Index
+
+
+def make_part_instance(
+    rng: random.Random, part_size: int, n_statements: int
+) -> Tuple[WFA, List[str]]:
+    """One WFA over ``part_size`` indices with random per-subset costs."""
+    indices = [Index("syn.t", (f"c{i:02d}",)) for i in range(part_size)]
+    statements = [f"q{i}" for i in range(n_statements)]
+    tables = {}
+    for statement in statements:
+        costs = {}
+        for mask in range(1 << part_size):
+            subset = frozenset(
+                ix for i, ix in enumerate(indices) if mask & (1 << i)
+            )
+            costs[subset] = float(rng.randint(0, 100))
+        tables[statement] = costs
+
+    transitions = TransitionCosts(
+        create={ix: float(rng.randint(20, 80)) for ix in indices},
+        drop={ix: 1.0 for ix in indices},
+    )
+    wfa = WFA(
+        indices,
+        frozenset(),
+        lambda q, X: tables[q][frozenset(X)],
+        transitions,
+    )
+    return wfa, statements

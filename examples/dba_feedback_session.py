@@ -1,0 +1,102 @@
+"""A scripted semi-automatic tuning session: the DBA stays in the loop.
+
+Reenacts the paper's §1 narrative: the tuner recommends indices {a, b, c};
+the DBA materializes a (implicit positive feedback), vetoes c explicitly
+(bad past experience with the locking subsystem), and promotes d instead.
+Later the workload turns against the DBA's favorite and WFIT gracefully
+overrides the stale advice.
+
+Run with::
+
+    python examples/dba_feedback_session.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    StatsTransitionCosts,
+    WFIT,
+    WhatIfOptimizer,
+    build_catalog,
+    select,
+    update,
+)
+from repro.db import Index
+from repro.query import InsertStatement
+
+
+def show(title: str, recommendation) -> None:
+    print(f"\n{title}")
+    if not recommendation:
+        print("    (no indices recommended)")
+    for index in sorted(recommendation):
+        print(f"    {index}")
+
+
+def main() -> None:
+    catalog, stats = build_catalog(scale=0.05, datasets=("tpch",))
+    optimizer = WhatIfOptimizer(stats)
+    transitions = StatsTransitionCosts(stats)
+    tuner = WFIT(optimizer, transitions, idx_cnt=20, state_cnt=256)
+
+    # Phase 1: an analyst hammers lineitem with shipdate/price ranges.
+    reporting = [
+        select("tpch.lineitem")
+        .where_between("l_shipdate", 8500 + 30 * i, 8560 + 30 * i)
+        .where_between("l_extendedprice", 1000, 20_000)
+        .count_star()
+        .build()
+        for i in range(6)
+    ]
+    for query in reporting:
+        tuner.analyze_statement(query)
+    show("After the reporting burst, WFIT recommends:", tuner.recommend())
+
+    # The DBA creates the shipdate index out-of-band -> implicit + vote,
+    # and vetoes the price index: "it interacted badly with locking".
+    shipdate_ix = Index("tpch.lineitem", ("l_shipdate",))
+    price_ix = Index("tpch.lineitem", ("l_extendedprice",))
+    composite_ix = Index("tpch.lineitem", ("l_shipdate", "l_extendedprice"))
+    rec = tuner.notify_materialized(created={shipdate_ix}, dropped=set())
+    show("After the DBA creates ix_lineitem_l_shipdate out-of-band:", rec)
+    assert shipdate_ix in rec, "consistency: implicit +vote must be honored"
+
+    rec = tuner.feedback(f_plus={composite_ix}, f_minus={price_ix})
+    show("After explicit votes (+composite, -price):", rec)
+    assert price_ix not in rec, "consistency: the veto must be honored"
+
+    # Phase 2: the workload shifts to heavy write churn on lineitem (bulk
+    # loads maintain every index on the table), so the indices the DBA
+    # blessed become expensive to keep.
+    churn = []
+    for i in range(30):
+        churn.append(InsertStatement("tpch.lineitem", row_count=2000))
+        churn.append(
+            update("tpch.lineitem")
+            .set("l_tax")
+            .where_between("l_extendedprice", 60_000 + 500 * i, 60_400 + 500 * i)
+            .build()
+        )
+    announced = False
+    for statement in churn:
+        rec = tuner.analyze_statement(statement)
+        if shipdate_ix not in rec and not announced:
+            announced = True
+            print(
+                "\nWFIT overrides the DBA's earlier preference: the write"
+                " churn made ix_lineitem_l_shipdate too expensive to keep."
+            )
+    show("After the write-heavy phase:", tuner.recommend())
+    if not announced:
+        print(
+            "\n(the churn was not long enough to override the DBA's votes —"
+            " increase the loop count to watch WFIT drop the indices)"
+        )
+    print(
+        f"\nworkload analyzed: {tuner.statements_analyzed} statements, "
+        f"what-if optimizations: {optimizer.optimizations}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Regenerate every figure of the paper's evaluation in one go.
+
+A standalone (no pytest) runner around :mod:`repro.bench`: builds the shared
+experiment context once, then prints each figure's total-work-ratio table.
+
+Run with::
+
+    python examples/paper_figures.py                    # CI scale
+    REPRO_BENCH_STATEMENTS=200 REPRO_BENCH_SCALE=1.0 \\
+        python examples/paper_figures.py                # paper scale (slow)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import (
+    figure8_baseline,
+    figure9_feedback,
+    figure10_feedback_independent,
+    figure11_lag,
+    figure12_auto,
+    get_context,
+    overhead_table,
+)
+
+FIGURES = (
+    figure8_baseline,
+    figure9_feedback,
+    figure10_feedback_independent,
+    figure11_lag,
+    figure12_auto,
+    overhead_table,
+)
+
+
+def main() -> None:
+    started = time.perf_counter()
+    print("building experiment context (catalog, workload, fixed partition, OPT)...")
+    context = get_context()
+    print(
+        f"  {len(context.statements)} statements, "
+        f"{len(context.fixed.candidates)} candidate indices, "
+        f"{len(context.fixed.partition)} parts "
+        f"({time.perf_counter() - started:.0f}s)\n"
+    )
+    for figure in FIGURES:
+        t0 = time.perf_counter()
+        result = figure(context)
+        print(result.format_table())
+        print(f"({time.perf_counter() - t0:.0f}s)\n")
+
+
+if __name__ == "__main__":
+    main()

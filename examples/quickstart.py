@@ -1,0 +1,72 @@
+"""Quickstart: online index tuning with WFIT in ~40 lines.
+
+Builds a toy two-table catalog, feeds a small query stream to WFIT, and
+prints the evolving recommendation. Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    StatsTransitionCosts,
+    WFIT,
+    WhatIfOptimizer,
+    build_toy_catalog,
+    parse_statement,
+    to_sql,
+)
+
+WORKLOAD = [
+    # A reporting burst over sales: range scans on date and amount.
+    "SELECT count(*) FROM shop.sales WHERE sale_date BETWEEN 17000 AND 17060",
+    "SELECT count(*) FROM shop.sales WHERE sale_date BETWEEN 17200 AND 17290",
+    "SELECT count(*) FROM shop.sales WHERE amount BETWEEN 100 AND 220",
+    "SELECT count(*) FROM shop.sales WHERE sale_date BETWEEN 17400 AND 17475"
+    " AND amount BETWEEN 150 AND 900",
+    # A join against customers by region.
+    "SELECT count(*) FROM shop.sales s, shop.customers c"
+    " WHERE s.customer_id = c.customer_id AND c.region = 7",
+    # Updates make an index on `amount` expensive to keep.
+    "UPDATE shop.sales SET amount = amount + 1"
+    " WHERE sale_date BETWEEN 17450 AND 17455",
+    "UPDATE shop.sales SET amount = amount + 1"
+    " WHERE sale_date BETWEEN 17456 AND 17461",
+]
+
+
+def main() -> None:
+    catalog, stats = build_toy_catalog(rows=200_000)
+    optimizer = WhatIfOptimizer(stats)
+    transitions = StatsTransitionCosts(stats)
+    tuner = WFIT(optimizer, transitions, idx_cnt=16, state_cnt=128)
+
+    print("=== WFIT quickstart ===")
+    for position, sql in enumerate(WORKLOAD):
+        statement = parse_statement(sql)
+        recommendation = tuner.analyze_statement(statement)
+        print(f"\n[{position}] {to_sql(statement)}")
+        if recommendation:
+            for index in sorted(recommendation):
+                print(f"    recommend: CREATE INDEX {index.name} ON {index}")
+        else:
+            print("    recommend: (no indices)")
+
+    print("\n--- DBA feedback: veto the amount index, bless the date index ---")
+    amount_ix = next(
+        (ix for ix in tuner.candidates if ix.columns == ("amount",)), None
+    )
+    date_ix = next(
+        (ix for ix in tuner.candidates if ix.columns == ("sale_date",)), None
+    )
+    f_plus = {date_ix} if date_ix else set()
+    f_minus = {amount_ix} if amount_ix else set()
+    recommendation = tuner.feedback(f_plus, f_minus)
+    print("after feedback, recommendation:")
+    for index in sorted(recommendation):
+        print(f"    {index}")
+    print(f"\nwhat-if optimizations performed: {optimizer.optimizations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Online tuning of the shifting benchmark workload: WFIT vs BC vs OPT.
+
+Generates a miniature version of the paper's 8-phase benchmark, runs WFIT
+(automatic candidate maintenance) and the BC baseline side by side, and
+prints an ASCII chart of the total-work ratio against the offline optimum —
+a terminal rendition of Figure 8 / Figure 12.
+
+Run with::
+
+    python examples/shifting_workload.py [statements_per_phase]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    BC,
+    OfflineOptimizer,
+    StatsTransitionCosts,
+    WFIT,
+    WhatIfOptimizer,
+    build_catalog,
+    compute_fixed_partition,
+    generate_workload,
+    run_online,
+    scaled_phases,
+)
+
+CHART_WIDTH = 48
+
+
+def ascii_chart(title: str, series) -> None:
+    print(f"\n{title}")
+    for n, ratio in series.items():
+        bar = "#" * max(0, min(CHART_WIDTH, int(ratio * CHART_WIDTH)))
+        print(f"  q={n:<5d} {ratio:5.3f} |{bar}")
+
+
+def main() -> None:
+    per_phase = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    print(f"building catalog and workload ({per_phase} statements/phase)...")
+    catalog, stats = build_catalog(scale=0.05)
+    optimizer = WhatIfOptimizer(stats)
+    transitions = StatsTransitionCosts(stats)
+    workload = generate_workload(catalog, stats, scaled_phases(per_phase), seed=7)
+    print(workload.summary())
+
+    print("\ncomputing the fixed candidate set and the OPT reference...")
+    fixed = compute_fixed_partition(
+        workload.statements, optimizer, transitions, idx_cnt=32, state_cnt=400
+    )
+    checkpoints = tuple(per_phase * k for k in range(1, 9))
+    schedule = OfflineOptimizer(
+        fixed.partition, frozenset(), optimizer.cost, transitions
+    ).run(workload.statements, checkpoints=checkpoints)
+
+    def ratios(result):
+        return {
+            n: schedule.optimum_at(n) / result.total_work_series[n - 1]
+            for n in checkpoints
+        }
+
+    print("running WFIT (automatic candidate maintenance)...")
+    wfit = WFIT(optimizer, transitions, idx_cnt=32, state_cnt=400, seed=1)
+    wfit_result = run_online(
+        wfit, workload.statements, optimizer.cost, transitions, optimizer=optimizer
+    )
+
+    print("running the BC baseline...")
+    bc = BC(fixed.candidates, frozenset(), optimizer.cost, transitions)
+    bc_result = run_online(bc, workload.statements, optimizer.cost, transitions)
+
+    ascii_chart("WFIT total-work ratio (OPT = 1.0):", ratios(wfit_result))
+    ascii_chart("BC total-work ratio (OPT = 1.0):", ratios(bc_result))
+
+    print("\nfinal recommendation (WFIT):")
+    for index in sorted(wfit.recommend()):
+        print(f"  {index}")
+    print(
+        f"\nWFIT: {wfit.repartition_count} repartitions, "
+        f"{len(wfit.universe)} candidates mined, "
+        f"{wfit_result.wall_time_seconds * 1000 / len(workload):.1f} ms/statement"
+    )
+
+
+if __name__ == "__main__":
+    main()

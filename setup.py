@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no `wheel` package and no network access, so PEP 660
+editable installs (which require building a wheel) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the classic
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,237 @@
+"""The semi-automatic advisor middleware: the paper's deployment shape.
+
+The prototype in §6 is middleware that *intercepts SQL text*, analyzes each
+statement online, and lets the DBA pull recommendations and push feedback at
+any time. :class:`AdvisorSession` packages the library the same way:
+
+* ``execute(sql)`` — intercept one statement (text or AST) on its way to the
+  database; WFIT analyzes it in passing.
+* ``recommendation()`` — the current recommendation with human-readable
+  CREATE/DROP statements relative to what is materialized.
+* ``vote_up`` / ``vote_down`` — explicit feedback.
+* ``create_index`` / ``drop_index`` — the DBA acts; the session tracks the
+  materialized set and forwards the implicit votes (§3.1).
+* ``history()`` — an audit log of everything that happened.
+
+Example
+-------
+>>> from repro import build_toy_catalog
+>>> from repro.advisor import AdvisorSession
+>>> catalog, stats = build_toy_catalog()
+>>> session = AdvisorSession.for_stats(stats)
+>>> session.execute("SELECT count(*) FROM shop.sales"
+...                 " WHERE amount BETWEEN 10 AND 20")   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from .core.wfit import WFIT
+from .db.index import Index
+from .db.stats import StatsRepository
+from .db.transitions import StatsTransitionCosts
+from .optimizer.whatif import WhatIfOptimizer
+from .query.ast import Statement
+from .query.parser import parse_statement, to_sql
+
+__all__ = ["AdvisorSession", "AdvisorEvent", "Recommendation"]
+
+
+@dataclass(frozen=True)
+class AdvisorEvent:
+    """One entry of the session's audit log."""
+
+    kind: str          # "statement" | "vote" | "create" | "drop" | "recommendation"
+    detail: str
+    position: int      # statements analyzed when the event happened
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A point-in-time recommendation, diffed against the materialized set."""
+
+    recommended: FrozenSet[Index]
+    materialized: FrozenSet[Index]
+
+    @property
+    def to_create(self) -> Tuple[Index, ...]:
+        return tuple(sorted(self.recommended - self.materialized))
+
+    @property
+    def to_drop(self) -> Tuple[Index, ...]:
+        return tuple(sorted(self.materialized - self.recommended))
+
+    def statements(self) -> List[str]:
+        """DDL the DBA would run to adopt the recommendation."""
+        out = [
+            f"CREATE INDEX {ix.name} ON {ix.table} ({', '.join(ix.columns)})"
+            for ix in self.to_create
+        ]
+        out.extend(f"DROP INDEX {ix.name}" for ix in self.to_drop)
+        return out
+
+    @property
+    def is_adopted(self) -> bool:
+        return self.recommended == self.materialized
+
+
+class AdvisorSession:
+    """Stateful semi-automatic tuning session around one WFIT instance."""
+
+    def __init__(
+        self,
+        optimizer: WhatIfOptimizer,
+        transitions,
+        materialized: AbstractSet[Index] = frozenset(),
+        **wfit_options,
+    ) -> None:
+        self._optimizer = optimizer
+        self._transitions = transitions
+        self._materialized: set = set(materialized)
+        self._tuner = WFIT(
+            optimizer, transitions, initial_config=frozenset(materialized),
+            **wfit_options,
+        )
+        self._events: List[AdvisorEvent] = []
+        self._statements_seen = 0
+
+    @classmethod
+    def for_stats(
+        cls, stats: StatsRepository, **wfit_options
+    ) -> "AdvisorSession":
+        """Build a session with the default optimizer/δ over ``stats``."""
+        optimizer = WhatIfOptimizer(stats)
+        transitions = StatsTransitionCosts(stats)
+        return cls(optimizer, transitions, **wfit_options)
+
+    # -- workload interception -------------------------------------------------
+
+    def execute(self, statement: Union[str, Statement]) -> Statement:
+        """Intercept one statement (SQL text or AST); returns the AST.
+
+        In a real deployment this is where the statement would also be
+        forwarded to the database for execution.
+        """
+        parsed = (
+            parse_statement(statement) if isinstance(statement, str) else statement
+        )
+        self._tuner.analyze_statement(parsed)
+        self._statements_seen += 1
+        self._log("statement", to_sql(parsed))
+        return parsed
+
+    def execute_many(self, statements: Iterable[Union[str, Statement]]) -> int:
+        """Intercept a batch; returns how many statements were analyzed."""
+        count = 0
+        for statement in statements:
+            self.execute(statement)
+            count += 1
+        return count
+
+    # -- recommendations and feedback ---------------------------------------------
+
+    def recommendation(self) -> Recommendation:
+        """The current recommendation, diffed against the materialized set."""
+        rec = Recommendation(
+            recommended=self._tuner.recommend(),
+            materialized=frozenset(self._materialized),
+        )
+        self._log(
+            "recommendation",
+            f"create={len(rec.to_create)} drop={len(rec.to_drop)}",
+        )
+        return rec
+
+    def vote_up(self, *indices: Index) -> FrozenSet[Index]:
+        """Explicit positive votes; returns the adjusted recommendation."""
+        rec = self._tuner.feedback(frozenset(indices), frozenset())
+        self._log("vote", "+" + ", +".join(ix.name for ix in indices))
+        return rec
+
+    def vote_down(self, *indices: Index) -> FrozenSet[Index]:
+        """Explicit negative votes; returns the adjusted recommendation."""
+        rec = self._tuner.feedback(frozenset(), frozenset(indices))
+        self._log("vote", "-" + ", -".join(ix.name for ix in indices))
+        return rec
+
+    def vote(
+        self, f_plus: AbstractSet[Index], f_minus: AbstractSet[Index]
+    ) -> FrozenSet[Index]:
+        """Simultaneous votes, as in the paper's feedback model."""
+        rec = self._tuner.feedback(frozenset(f_plus), frozenset(f_minus))
+        self._log(
+            "vote",
+            "+{" + ", ".join(ix.name for ix in sorted(f_plus)) + "} "
+            "-{" + ", ".join(ix.name for ix in sorted(f_minus)) + "}",
+        )
+        return rec
+
+    # -- DBA actions (implicit feedback) ----------------------------------------------
+
+    def create_index(self, index: Index) -> None:
+        """The DBA materializes an index; WFIT learns via an implicit +vote."""
+        if index in self._materialized:
+            raise ValueError(f"{index.name} is already materialized")
+        self._materialized.add(index)
+        self._tuner.notify_materialized(created={index}, dropped=frozenset())
+        self._log("create", index.name)
+
+    def drop_index(self, index: Index) -> None:
+        """The DBA drops an index; WFIT learns via an implicit −vote."""
+        if index not in self._materialized:
+            raise ValueError(f"{index.name} is not materialized")
+        self._materialized.discard(index)
+        self._tuner.notify_materialized(created=frozenset(), dropped={index})
+        self._log("drop", index.name)
+
+    def adopt(self) -> Tuple[Tuple[Index, ...], Tuple[Index, ...]]:
+        """Adopt the current recommendation wholesale.
+
+        Returns ``(created, dropped)``. Equivalent to the lagged-DBA
+        acceptance of Figure 11 (with its lease-renewing implicit votes).
+        """
+        rec = self._tuner.recommend()
+        created = tuple(sorted(rec - self._materialized))
+        dropped = tuple(sorted(self._materialized - rec))
+        self._materialized = set(rec)
+        self._tuner.feedback(rec, frozenset(dropped))
+        for index in created:
+            self._log("create", index.name)
+        for index in dropped:
+            self._log("drop", index.name)
+        return created, dropped
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def materialized(self) -> FrozenSet[Index]:
+        return frozenset(self._materialized)
+
+    @property
+    def statements_seen(self) -> int:
+        return self._statements_seen
+
+    @property
+    def tuner(self) -> WFIT:
+        return self._tuner
+
+    def history(self) -> Tuple[AdvisorEvent, ...]:
+        return tuple(self._events)
+
+    def overhead(self) -> Dict[str, float]:
+        """What-if accounting for the session so far."""
+        return {
+            "whatif_calls": float(self._optimizer.whatif_calls),
+            "optimizations": float(self._optimizer.optimizations),
+            "per_statement": (
+                self._optimizer.optimizations / self._statements_seen
+                if self._statements_seen
+                else 0.0
+            ),
+        }
+
+    def _log(self, kind: str, detail: str) -> None:
+        self._events.append(AdvisorEvent(kind, detail, self._statements_seen))

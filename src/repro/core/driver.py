@@ -1,0 +1,165 @@
+"""Online tuning driver: totWork accounting and DBA interaction models.
+
+``run_online`` feeds a workload to a tuning algorithm and accounts the total
+work metric of §3.1:
+
+    totWork(A, Q_N, V) = Σ_n  cost(q_n, S_n) + δ(S_{n−1}, S_n)
+
+where ``S_n`` is the configuration in effect for statement ``n``. Three DBA
+models from the experiments are supported:
+
+* **Immediate adoption** (``adopt_period=1``): every recommendation is
+  adopted — the convention of the baseline/feedback experiments.
+* **Lagged adoption** (``adopt_period=T``, Figure 11): the DBA requests and
+  accepts the recommendation every ``T`` statements; acceptance casts the
+  implicit lease-renewing feedback (positive votes on the accepted set,
+  negative on what it drops).
+* **Vote streams** (Figures 9/10): explicit ``FeedbackEvent``s applied after
+  the statement at their position (position −1 = before the workload).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..db.index import Index
+from .opt import FeedbackEvent
+from .wfa import CostFunction
+
+__all__ = ["TuningPoint", "TuningResult", "run_online"]
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """Per-statement accounting record."""
+
+    position: int
+    configuration: FrozenSet[Index]
+    query_cost: float
+    transition_cost: float
+    cumulative_total_work: float
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one online tuning run."""
+
+    points: List[TuningPoint]
+    wall_time_seconds: float
+    whatif_calls: int = 0
+    optimizations: int = 0
+
+    @property
+    def total_work(self) -> float:
+        return self.points[-1].cumulative_total_work if self.points else 0.0
+
+    @property
+    def total_work_series(self) -> List[float]:
+        return [point.cumulative_total_work for point in self.points]
+
+    @property
+    def final_configuration(self) -> FrozenSet[Index]:
+        return self.points[-1].configuration if self.points else frozenset()
+
+    def configuration_changes(self) -> int:
+        """How many times the in-effect configuration changed."""
+        changes = 0
+        previous: Optional[FrozenSet[Index]] = None
+        for point in self.points:
+            if previous is not None and point.configuration != previous:
+                changes += 1
+            previous = point.configuration
+        return changes
+
+
+def _group_events(
+    events: Iterable[FeedbackEvent],
+) -> Dict[int, List[FeedbackEvent]]:
+    grouped: Dict[int, List[FeedbackEvent]] = {}
+    for event in events:
+        grouped.setdefault(event.position, []).append(event)
+    return grouped
+
+
+def run_online(
+    algorithm,
+    workload: Sequence[object],
+    cost_fn: CostFunction,
+    transitions,
+    initial_config: AbstractSet[Index] = frozenset(),
+    feedback_events: Iterable[FeedbackEvent] = (),
+    adopt_period: int = 1,
+    lease_feedback: bool = True,
+    optimizer=None,
+) -> TuningResult:
+    """Run ``algorithm`` over ``workload`` and account total work.
+
+    Parameters
+    ----------
+    algorithm:
+        Must expose ``analyze_statement(stmt)`` and ``recommend()``;
+        ``feedback(F+, F−)`` is required only when vote streams or lagged
+        adoption with lease feedback are used.
+    cost_fn / transitions:
+        The what-if cost interface and δ provider used for *accounting*
+        (the same objects the algorithm itself uses, so the evaluation is
+        under the optimizer's cost model as in §6.1).
+    initial_config:
+        S0, the configuration in effect before the first adoption.
+    feedback_events:
+        Explicit vote stream V (position −1 applies before statement 0).
+    adopt_period:
+        The DBA accepts the current recommendation every this many
+        statements (1 = immediate adoption).
+    lease_feedback:
+        Whether acceptance casts implicit votes (Figure 11 semantics).
+    optimizer:
+        Optional :class:`~repro.optimizer.whatif.WhatIfOptimizer` whose
+        call counters should be captured in the result.
+    """
+    if adopt_period < 1:
+        raise ValueError("adopt_period must be >= 1")
+    events = _group_events(feedback_events)
+    points: List[TuningPoint] = []
+    in_effect = frozenset(initial_config)
+    cumulative = 0.0
+    calls_before = optimizer.whatif_calls if optimizer is not None else 0
+    optimizations_before = optimizer.optimizations if optimizer is not None else 0
+    started = time.perf_counter()
+
+    for event in events.get(-1, ()):
+        algorithm.feedback(event.f_plus, event.f_minus)
+
+    for position, statement in enumerate(workload):
+        algorithm.analyze_statement(statement)
+        for event in events.get(position, ()):
+            algorithm.feedback(event.f_plus, event.f_minus)
+
+        transition = 0.0
+        if (position + 1) % adopt_period == 0:
+            accepted = algorithm.recommend()
+            if accepted != in_effect:
+                transition = transitions.delta(in_effect, accepted)
+            if adopt_period > 1 and lease_feedback:
+                dropped = in_effect - accepted
+                algorithm.feedback(accepted, dropped)
+            in_effect = accepted
+
+        query_cost = cost_fn(statement, in_effect)
+        cumulative += query_cost + transition
+        points.append(TuningPoint(
+            position=position,
+            configuration=in_effect,
+            query_cost=query_cost,
+            transition_cost=transition,
+            cumulative_total_work=cumulative,
+        ))
+
+    elapsed = time.perf_counter() - started
+    result = TuningResult(points=points, wall_time_seconds=elapsed)
+    if optimizer is not None:
+        result.whatif_calls = optimizer.whatif_calls - calls_before
+        result.optimizations = optimizer.optimizations - optimizations_before
+    return result

@@ -1,0 +1,309 @@
+"""The Work Function Algorithm for index tuning (§4.1, Figure 3).
+
+One :class:`WFA` instance tracks a small set of candidate indices (one part
+of the stable partition) and maintains the work function value ``w[S]`` for
+every configuration ``S`` of that part:
+
+    w_n(S) = min_X { w_{n-1}(X) + cost(q_n, X) + δ(X, S) }
+
+Configurations are bitmasks over the part's (deterministically sorted)
+indices. The recurrence is evaluated in ``O(2^k · k)`` per statement by
+per-dimension relaxation, exploiting that δ decomposes into independent
+per-index create/drop costs.
+
+The recommendation rule follows Figure 3: the next recommendation minimizes
+``score(S) = w[S] + δ(S, currRec)`` subject to the ``S ∈ p[S]`` condition
+(equivalently ``w_n(S) = w_{n-1}(S) + cost(q_n, S)``), with the
+lexicographic tie-break of Appendix B. Note the δ arguments are *reversed*
+relative to the symmetric original of Borodin & El-Yaniv — the form required
+by the paper's competitive proof for asymmetric δ (footnote 4).
+
+Feedback handling (Figure 4) lives here too so that both WFA⁺ and WFIT can
+delegate to their parts.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..db.index import Index
+
+__all__ = ["WFA", "CostFunction", "TransitionCosts"]
+
+# cost(q, X) -> float where X is a set of indices.
+CostFunction = Callable[[object, FrozenSet[Index]], float]
+
+
+class TransitionCosts:
+    """Protocol-ish base for δ providers: per-index create/drop costs.
+
+    Any object with ``create_cost(index)`` and ``drop_cost(index)`` works
+    (e.g. :class:`repro.db.StatsTransitionCosts`); this class also offers a
+    simple dict-backed implementation for tests and synthetic instances.
+    """
+
+    def __init__(
+        self,
+        create: Optional[Dict[Index, float]] = None,
+        drop: Optional[Dict[Index, float]] = None,
+        default_create: float = 1.0,
+        default_drop: float = 0.0,
+    ) -> None:
+        self._create = dict(create or {})
+        self._drop = dict(drop or {})
+        self._default_create = default_create
+        self._default_drop = default_drop
+
+    def create_cost(self, index: Index) -> float:
+        return self._create.get(index, self._default_create)
+
+    def drop_cost(self, index: Index) -> float:
+        return self._drop.get(index, self._default_drop)
+
+    def delta(self, old: AbstractSet[Index], new: AbstractSet[Index]) -> float:
+        total = 0.0
+        for index in new:
+            if index not in old:
+                total += self.create_cost(index)
+        for index in old:
+            if index not in new:
+                total += self.drop_cost(index)
+        return total
+
+
+#: Absolute tolerance for float comparisons of work-function values.
+_EPS = 1e-7
+
+
+class WFA:
+    """Work Function Algorithm over one part of the candidate set."""
+
+    def __init__(
+        self,
+        indices: Sequence[Index],
+        initial_config: AbstractSet[Index],
+        cost_fn: CostFunction,
+        transitions,
+        work_values: Optional[Dict[FrozenSet[Index], float]] = None,
+        recommendation: Optional[AbstractSet[Index]] = None,
+    ) -> None:
+        """Create an instance tracking ``indices``.
+
+        Parameters
+        ----------
+        indices:
+            The part's candidate indices (order is normalized internally).
+        initial_config:
+            ``S0 ∩ Ck`` — which of the part's indices start materialized.
+        cost_fn:
+            The what-if interface ``cost(q, X)``.
+        transitions:
+            δ provider with ``create_cost`` / ``drop_cost``.
+        work_values / recommendation:
+            Optional warm-start state (used by WFIT's ``repartition``); when
+            given, they replace the default ``w0(S) = δ(S0, S)``.
+        """
+        self._indices: Tuple[Index, ...] = tuple(sorted(set(indices)))
+        if len(self._indices) > 20:
+            raise ValueError(
+                f"part of {len(self._indices)} indices would need "
+                f"{1 << len(self._indices)} states; repartition first"
+            )
+        self._bit_of: Dict[Index, int] = {
+            ix: 1 << i for i, ix in enumerate(self._indices)
+        }
+        self._cost_fn = cost_fn
+        self._transitions = transitions
+        self._create = [transitions.create_cost(ix) for ix in self._indices]
+        self._drop = [transitions.drop_cost(ix) for ix in self._indices]
+        self._size = 1 << len(self._indices)
+
+        initial_mask = self._mask_of(initial_config)
+        if work_values is not None:
+            self._w = [0.0] * self._size
+            for subset, value in work_values.items():
+                self._w[self._mask_of(subset)] = value
+        else:
+            self._w = [
+                self._delta_masks(initial_mask, mask) for mask in range(self._size)
+            ]
+        if recommendation is not None:
+            self._rec = self._mask_of(recommendation)
+        else:
+            self._rec = initial_mask
+        self._statements_analyzed = 0
+
+    # -- mask helpers --------------------------------------------------------
+
+    def _mask_of(self, subset: AbstractSet[Index]) -> int:
+        mask = 0
+        for index in subset:
+            bit = self._bit_of.get(index)
+            if bit is not None:
+                mask |= bit
+        return mask
+
+    def _set_of(self, mask: int) -> FrozenSet[Index]:
+        return frozenset(
+            ix for i, ix in enumerate(self._indices) if mask & (1 << i)
+        )
+
+    def _delta_masks(self, old: int, new: int) -> float:
+        total = 0.0
+        added = new & ~old
+        dropped = old & ~new
+        for i in range(len(self._indices)):
+            bit = 1 << i
+            if added & bit:
+                total += self._create[i]
+            elif dropped & bit:
+                total += self._drop[i]
+        return total
+
+    @staticmethod
+    def _lex_prefers(mask_a: int, mask_b: int) -> bool:
+        """Appendix-B tie-break: prefer the set containing the lowest-order
+        index where the two differ."""
+        diff = mask_a ^ mask_b
+        if diff == 0:
+            return False
+        lowest = diff & (-diff)
+        return bool(mask_a & lowest)
+
+    # -- public properties -----------------------------------------------------
+
+    @property
+    def indices(self) -> Tuple[Index, ...]:
+        return self._indices
+
+    @property
+    def state_count(self) -> int:
+        return self._size
+
+    @property
+    def statements_analyzed(self) -> int:
+        return self._statements_analyzed
+
+    def recommend(self) -> FrozenSet[Index]:
+        """``WFA.recommend()`` of Figure 3."""
+        return self._set_of(self._rec)
+
+    def work_function(self) -> Dict[FrozenSet[Index], float]:
+        """Snapshot of ``w[S]`` for every configuration (for repartitioning)."""
+        return {self._set_of(mask): self._w[mask] for mask in range(self._size)}
+
+    def work_value(self, subset: AbstractSet[Index]) -> float:
+        return self._w[self._mask_of(subset)]
+
+    def min_work(self) -> float:
+        """``min_S w_n(S)`` — the optimal total work within this part."""
+        return min(self._w)
+
+    # -- the algorithm -----------------------------------------------------------
+
+    def _statement_costs(self, statement: object) -> List[float]:
+        return [
+            self._cost_fn(statement, self._set_of(mask))
+            for mask in range(self._size)
+        ]
+
+    def analyze_statement(self, statement: object) -> FrozenSet[Index]:
+        """``WFA.analyzeQuery`` of Figure 3; returns the new recommendation."""
+        size = self._size
+        costs = self._statement_costs(statement)
+        w = self._w
+
+        # Stage 1: w'[S] = min_X (w[X] + cost(q, X) + δ(X, S)), via
+        # per-dimension min-plus relaxation over the separable δ.
+        new_w = [w[mask] + costs[mask] for mask in range(size)]
+        for i in range(len(self._indices)):
+            bit = 1 << i
+            create = self._create[i]
+            drop = self._drop[i]
+            for mask in range(size):
+                if mask & bit:
+                    continue
+                with_bit = mask | bit
+                lo, hi = new_w[mask], new_w[with_bit]
+                alt_hi = lo + create
+                if alt_hi < hi:
+                    new_w[with_bit] = alt_hi
+                alt_lo = hi + drop
+                if alt_lo < lo:
+                    new_w[mask] = alt_lo
+
+        # The p[S] membership test S ∈ p[S] is equivalent to the work
+        # function having no final transition: w'[S] = w[S] + cost(q, S).
+        tolerance = [
+            _EPS * max(1.0, abs(new_w[mask])) for mask in range(size)
+        ]
+        self_path = [
+            abs(new_w[mask] - (w[mask] + costs[mask])) <= tolerance[mask]
+            for mask in range(size)
+        ]
+        self._w = new_w
+        self._statements_analyzed += 1
+
+        # Stage 2: pick the next recommendation by minimum score with the
+        # self-path condition; Appendix-B lexicographic tie-break.
+        best_mask: Optional[int] = None
+        best_score = float("inf")
+        for mask in range(size):
+            if not self_path[mask]:
+                continue
+            score = new_w[mask] + self._delta_masks(mask, self._rec)
+            if best_mask is None:
+                best_mask, best_score = mask, score
+                continue
+            margin = _EPS * max(1.0, abs(score), abs(best_score))
+            if score < best_score - margin:
+                best_mask, best_score = mask, score
+            elif abs(score - best_score) <= margin and self._lex_prefers(mask, best_mask):
+                best_mask, best_score = mask, score
+        if best_mask is None:
+            # Numerically impossible per Lemma 9.2 of [3], but stay robust:
+            # fall back to the plain minimum-score state.
+            best_mask = min(
+                range(size),
+                key=lambda m: (new_w[m] + self._delta_masks(m, self._rec), m),
+            )
+        self._rec = best_mask
+        return self.recommend()
+
+    def scores(self) -> Dict[FrozenSet[Index], float]:
+        """Current ``score(S) = w[S] + δ(S, currRec)`` for every S (debug/tests)."""
+        return {
+            self._set_of(mask): self._w[mask] + self._delta_masks(mask, self._rec)
+            for mask in range(self._size)
+        }
+
+    # -- feedback (Figure 4, per-part body) -----------------------------------------
+
+    def apply_feedback(
+        self, f_plus: AbstractSet[Index], f_minus: AbstractSet[Index]
+    ) -> FrozenSet[Index]:
+        """Apply DBA votes to this part; returns the adjusted recommendation.
+
+        Implements the body of ``WFIT.feedback`` (Figure 4): switch the
+        recommendation to the consistent configuration, then raise work
+        function values so every configuration respects the score bound
+        (5.1) relative to the new recommendation.
+        """
+        plus_mask = self._mask_of(f_plus)
+        minus_mask = self._mask_of(f_minus)
+        if plus_mask & minus_mask:
+            raise ValueError("F+ and F- must be disjoint")
+        new_rec = (self._rec & ~minus_mask) | plus_mask
+        self._rec = new_rec
+        w = self._w
+        rec_value = w[new_rec]
+        for mask in range(self._size):
+            consistent = (mask & ~minus_mask) | plus_mask
+            min_diff = (
+                self._delta_masks(mask, consistent)
+                + self._delta_masks(consistent, mask)
+            )
+            diff = w[mask] + self._delta_masks(mask, new_rec) - rec_value
+            if diff < min_diff:
+                w[mask] += min_diff - diff
+        return self.recommend()

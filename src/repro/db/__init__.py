@@ -1,0 +1,32 @@
+"""Database substrate: schemas, statistics, indices, and transition costs.
+
+This package replaces the role IBM DB2 plays in the paper's prototype: it
+provides the catalog the what-if optimizer prices plans against, the index
+model that WFIT reasons about, and the asymmetric create/drop cost function δ.
+"""
+
+from .datagen import DATASET_NAMES, build_catalog, build_dataset, build_toy_catalog
+from .index import Index, IndexSizer
+from .schema import Catalog, Column, ColumnType, Database, SchemaError, Table
+from .stats import PAGE_SIZE, ColumnStats, StatsRepository, TableStats
+from .transitions import StatsTransitionCosts
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "ColumnStats",
+    "DATASET_NAMES",
+    "Database",
+    "Index",
+    "IndexSizer",
+    "PAGE_SIZE",
+    "SchemaError",
+    "StatsRepository",
+    "StatsTransitionCosts",
+    "Table",
+    "TableStats",
+    "build_catalog",
+    "build_dataset",
+    "build_toy_catalog",
+]

@@ -1,0 +1,343 @@
+"""Synthetic catalogs for the paper's four benchmark datasets.
+
+The online-tuning benchmark of Schnaitter & Polyzotis [15] hosts TPC-C,
+TPC-H, TPC-E and the real-life NREF protein dataset in one system (2.9 GB of
+base data in the paper). Since the evaluation is driven entirely by the
+optimizer's cost model, we reproduce the datasets as *statistics-only*
+catalogs: table schemas, row counts, and per-column distributions at a
+configurable scale.
+
+Dates are encoded as "days since 1970-01-01" floats so range predicates on
+them go through the ordinary numeric selectivity path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .schema import Catalog, Column, ColumnType, Database, Table
+from .stats import ColumnStats, StatsRepository, TableStats
+
+__all__ = [
+    "build_catalog",
+    "build_dataset",
+    "build_toy_catalog",
+    "DATASET_NAMES",
+]
+
+DATASET_NAMES = ("tpcc", "tpch", "tpce", "nref")
+
+# A column spec is (name, type, n_distinct, lo, hi). n_distinct may be given
+# as a float in (0, 1], meaning "fraction of the table's row count".
+_ColumnSpec = Tuple[str, ColumnType, float, float, float]
+# A table spec is (name, base_row_count, [column specs]).
+_TableSpec = Tuple[str, int, Sequence[_ColumnSpec]]
+
+_DAY = 1.0
+_YEAR = 365.0
+
+
+def _days(year: int) -> float:
+    """Days since 1970 for Jan 1 of ``year`` (uniform-calendar shortcut)."""
+    return (year - 1970) * _YEAR
+
+
+_I = ColumnType.INT
+_B = ColumnType.BIGINT
+_F = ColumnType.FLOAT
+_D = ColumnType.DATE
+_C = ColumnType.CHAR
+_T = ColumnType.TEXT
+
+# ---------------------------------------------------------------------------
+# Dataset specifications.
+#
+# Row counts are the scale-1.0 values; build_dataset multiplies them by the
+# scale factor (min 10 rows). Distinct counts given as fractions scale along.
+# ---------------------------------------------------------------------------
+
+_TPCC_TABLES: Sequence[_TableSpec] = (
+    ("warehouse", 100, (
+        ("w_id", _I, 1.0, 1, 100),
+        ("w_tax", _F, 0.2, 0.0, 0.2),
+        ("w_ytd", _F, 1.0, 0.0, 3.0e5),
+    )),
+    ("district", 1000, (
+        ("d_id", _I, 10, 1, 10),
+        ("d_w_id", _I, 100, 1, 100),
+        ("d_tax", _F, 0.2, 0.0, 0.2),
+        ("d_next_o_id", _I, 1.0, 1, 1.0e4),
+    )),
+    ("customer", 300_000, (
+        ("c_id", _I, 3000, 1, 3000),
+        ("c_d_id", _I, 10, 1, 10),
+        ("c_w_id", _I, 100, 1, 100),
+        ("c_last", _C, 1000, 0, 1000),
+        ("c_balance", _F, 0.5, -1.0e4, 1.0e5),
+        ("c_discount", _F, 0.1, 0.0, 0.5),
+        ("c_credit_lim", _F, 0.05, 0.0, 5.0e4),
+        ("c_since", _D, 0.2, _days(1992), _days(2006)),
+    )),
+    ("history", 300_000, (
+        ("h_c_id", _I, 3000, 1, 3000),
+        ("h_date", _D, 0.3, _days(1992), _days(2006)),
+        ("h_amount", _F, 0.2, 1.0, 5000.0),
+    )),
+    ("orders", 300_000, (
+        ("o_id", _I, 1.0, 1, 3.0e5),
+        ("o_c_id", _I, 3000, 1, 3000),
+        ("o_d_id", _I, 10, 1, 10),
+        ("o_w_id", _I, 100, 1, 100),
+        ("o_entry_d", _D, 0.3, _days(1992), _days(2006)),
+        ("o_carrier_id", _I, 10, 1, 10),
+        ("o_ol_cnt", _I, 11, 5, 15),
+    )),
+    ("new_order", 90_000, (
+        ("no_o_id", _I, 1.0, 1, 3.0e5),
+        ("no_d_id", _I, 10, 1, 10),
+        ("no_w_id", _I, 100, 1, 100),
+    )),
+    ("order_line", 3_000_000, (
+        ("ol_o_id", _I, 0.1, 1, 3.0e5),
+        ("ol_d_id", _I, 10, 1, 10),
+        ("ol_w_id", _I, 100, 1, 100),
+        ("ol_number", _I, 15, 1, 15),
+        ("ol_i_id", _I, 100_000, 1, 1.0e5),
+        ("ol_quantity", _I, 10, 1, 10),
+        ("ol_amount", _F, 0.3, 0.0, 1.0e4),
+        ("ol_delivery_d", _D, 0.2, _days(1992), _days(2006)),
+    )),
+    ("item", 100_000, (
+        ("i_id", _I, 1.0, 1, 1.0e5),
+        ("i_im_id", _I, 10_000, 1, 1.0e4),
+        ("i_price", _F, 0.1, 1.0, 100.0),
+    )),
+    ("stock", 1_000_000, (
+        ("s_i_id", _I, 100_000, 1, 1.0e5),
+        ("s_w_id", _I, 100, 1, 100),
+        ("s_quantity", _I, 91, 10, 100),
+        ("s_ytd", _F, 0.3, 0.0, 1.0e4),
+        ("s_order_cnt", _I, 0.01, 0, 1.0e4),
+    )),
+)
+
+_TPCH_TABLES: Sequence[_TableSpec] = (
+    ("region", 10, (
+        ("r_regionkey", _I, 1.0, 0, 4),
+    )),
+    ("nation", 25, (
+        ("n_nationkey", _I, 1.0, 0, 24),
+        ("n_regionkey", _I, 5, 0, 4),
+    )),
+    ("supplier", 10_000, (
+        ("s_suppkey", _I, 1.0, 1, 1.0e4),
+        ("s_nationkey", _I, 25, 0, 24),
+        ("s_acctbal", _F, 0.5, -1000.0, 1.0e4),
+    )),
+    ("customer", 150_000, (
+        ("c_custkey", _I, 1.0, 1, 1.5e5),
+        ("c_nationkey", _I, 25, 0, 24),
+        ("c_acctbal", _F, 0.5, -1000.0, 1.0e4),
+        ("c_mktsegment", _C, 5, 0, 5),
+    )),
+    ("part", 200_000, (
+        ("p_partkey", _I, 1.0, 1, 2.0e5),
+        ("p_size", _I, 50, 1, 50),
+        ("p_retailprice", _F, 0.2, 900.0, 2100.0),
+        ("p_brand", _C, 25, 0, 25),
+    )),
+    ("partsupp", 800_000, (
+        ("ps_partkey", _I, 0.25, 1, 2.0e5),
+        ("ps_suppkey", _I, 0.0125, 1, 1.0e4),
+        ("ps_availqty", _I, 9999, 1, 9999),
+        ("ps_supplycost", _F, 0.1, 1.0, 1000.0),
+    )),
+    ("orders", 1_500_000, (
+        ("o_orderkey", _I, 1.0, 1, 6.0e6),
+        ("o_custkey", _I, 0.066, 1, 1.5e5),
+        ("o_orderdate", _D, 2406, _days(1992), _days(1998) + 214 * _DAY),
+        ("o_totalprice", _F, 0.6, 850.0, 5.6e5),
+        ("o_orderstatus", _C, 3, 0, 3),
+    )),
+    ("lineitem", 6_000_000, (
+        ("l_orderkey", _I, 0.25, 1, 6.0e6),
+        ("l_partkey", _I, 0.033, 1, 2.0e5),
+        ("l_suppkey", _I, 0.00166, 1, 1.0e4),
+        ("l_linenumber", _I, 7, 1, 7),
+        ("l_quantity", _F, 50, 1.0, 50.0),
+        ("l_extendedprice", _F, 0.5, 900.0, 105_000.0),
+        ("l_discount", _F, 11, 0.0, 0.1),
+        ("l_tax", _F, 9, 0.0, 0.08),
+        ("l_shipdate", _D, 2526, _days(1992), _days(1998) + 334 * _DAY),
+        ("l_commitdate", _D, 2466, _days(1992), _days(1998) + 304 * _DAY),
+        ("l_receiptdate", _D, 2555, _days(1992), _days(1999)),
+    )),
+)
+
+_TPCE_TABLES: Sequence[_TableSpec] = (
+    ("company", 5000, (
+        ("co_id", _B, 1.0, 1, 5000),
+        ("co_open_date", _D, 0.9, _days(1800), _days(2000)),
+        ("co_rate", _F, 0.2, 0.0, 10.0),
+    )),
+    ("security", 6850, (
+        ("s_symb", _C, 1.0, 1, 6850),
+        ("s_co_id", _B, 0.73, 1, 5000),
+        ("s_pe", _F, 0.8, 0.0, 120.0),
+        ("s_exch_date", _D, 0.9, _days(1990), _days(2007)),
+        ("s_num_out", _B, 0.9, 1.0e6, 9.5e9),
+        ("s_yield", _F, 0.3, 0.0, 12.0),
+    )),
+    ("daily_market", 4_469_625, (
+        ("dm_s_symb", _C, 0.00153, 1, 6850),
+        ("dm_date", _D, 0.000146, _days(2000), _days(2005)),
+        ("dm_close", _F, 0.2, 0.1, 1000.0),
+        ("dm_high", _F, 0.2, 0.1, 1100.0),
+        ("dm_low", _F, 0.2, 0.05, 1000.0),
+        ("dm_vol", _B, 0.5, 1000, 1.0e7),
+    )),
+    ("trade", 1_728_000, (
+        ("t_id", _B, 1.0, 1, 1.728e6),
+        ("t_s_symb", _C, 0.004, 1, 6850),
+        ("t_dts", _D, 0.5, _days(2004), _days(2006)),
+        ("t_qty", _I, 800, 100, 800),
+        ("t_trade_price", _F, 0.3, 0.1, 1000.0),
+        ("t_ca_id", _B, 0.05, 1, 8.64e4),
+    )),
+    ("holding", 864_000, (
+        ("h_t_id", _B, 1.0, 1, 1.728e6),
+        ("h_ca_id", _B, 0.1, 1, 8.64e4),
+        ("h_s_symb", _C, 0.0079, 1, 6850),
+        ("h_qty", _I, 800, 100, 800),
+        ("h_price", _F, 0.3, 0.1, 1000.0),
+    )),
+)
+
+_NREF_TABLES: Sequence[_TableSpec] = (
+    ("protein", 1_000_000, (
+        ("protein_id", _B, 1.0, 1, 1.0e6),
+        ("length", _I, 0.005, 10, 36_000),
+        ("mol_weight", _F, 0.5, 1000.0, 4.0e6),
+        ("created_date", _D, 0.003, _days(1988), _days(2006)),
+        ("taxon_id", _I, 0.08, 1, 4.0e5),
+    )),
+    ("neighboring_seq", 2_000_000, (
+        ("protein_id", _B, 0.4, 1, 1.0e6),
+        ("neighbor_id", _B, 0.4, 1, 1.0e6),
+        ("distance", _F, 0.2, 0.0, 1.0),
+    )),
+    ("source", 500_000, (
+        ("source_id", _I, 1.0, 1, 5.0e5),
+        ("protein_id", _B, 0.9, 1, 1.0e6),
+        ("organism_id", _I, 0.1, 1, 4.0e5),
+    )),
+    ("taxonomy", 400_000, (
+        ("taxon_id", _I, 1.0, 1, 4.0e5),
+        ("parent_id", _I, 0.2, 1, 4.0e5),
+        ("rank", _C, 30, 0, 30),
+    )),
+)
+
+_DATASETS: Dict[str, Sequence[_TableSpec]] = {
+    "tpcc": _TPCC_TABLES,
+    "tpch": _TPCH_TABLES,
+    "tpce": _TPCE_TABLES,
+    "nref": _NREF_TABLES,
+}
+
+
+def _resolve_distinct(spec_value: float, row_count: int) -> int:
+    """Interpret a distinct-count spec: fraction of rows if in (0, 1]."""
+    if 0.0 < spec_value <= 1.0:
+        return max(1, int(round(spec_value * row_count)))
+    return max(1, min(int(spec_value), row_count))
+
+
+def build_dataset(name: str, scale: float = 1.0) -> Tuple[Database, List[TableStats]]:
+    """Build one dataset's schema and statistics at the given scale."""
+    try:
+        specs = _DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    database = Database(name)
+    all_stats: List[TableStats] = []
+    for table_name, base_rows, column_specs in specs:
+        row_count = max(10, int(base_rows * scale))
+        columns = [Column(cname, ctype) for cname, ctype, _, _, _ in column_specs]
+        table = Table(f"{name}.{table_name}", columns)
+        database.add_table(table)
+        column_stats = {
+            cname: ColumnStats(
+                n_distinct=_resolve_distinct(ndv, row_count),
+                min_value=float(lo),
+                max_value=float(hi),
+            )
+            for cname, _, ndv, lo, hi in column_specs
+        }
+        all_stats.append(TableStats(table, row_count, column_stats))
+    return database, all_stats
+
+
+def build_catalog(
+    scale: float = 1.0,
+    datasets: Iterable[str] = DATASET_NAMES,
+) -> Tuple[Catalog, StatsRepository]:
+    """Build the multi-database benchmark catalog with its statistics.
+
+    Parameters
+    ----------
+    scale:
+        Row-count multiplier applied to every table (1.0 reproduces the
+        paper's ~2.9 GB system; smaller scales change absolute costs but not
+        the qualitative behaviour of the tuning algorithms).
+    datasets:
+        Which of the four benchmark datasets to include.
+    """
+    catalog = Catalog()
+    repo_stats: List[TableStats] = []
+    for name in datasets:
+        database, table_stats = build_dataset(name, scale)
+        catalog.add_database(database)
+        repo_stats.extend(table_stats)
+    repository = StatsRepository(catalog)
+    for stats in repo_stats:
+        repository.add_table_stats(stats)
+    return catalog, repository
+
+
+def build_toy_catalog(rows: int = 100_000) -> Tuple[Catalog, StatsRepository]:
+    """A two-table single-database catalog for examples and tests."""
+    sales = Table("shop.sales", [
+        Column("sale_id", ColumnType.INT),
+        Column("customer_id", ColumnType.INT),
+        Column("product_id", ColumnType.INT),
+        Column("amount", ColumnType.FLOAT),
+        Column("sale_date", ColumnType.DATE),
+    ])
+    customers = Table("shop.customers", [
+        Column("customer_id", ColumnType.INT),
+        Column("region", ColumnType.CHAR),
+        Column("signup_date", ColumnType.DATE),
+        Column("lifetime_value", ColumnType.FLOAT),
+    ])
+    database = Database("shop", [sales, customers])
+    catalog = Catalog([database])
+    repository = StatsRepository(catalog)
+    repository.add_table_stats(TableStats(sales, rows, {
+        "sale_id": ColumnStats(n_distinct=rows, min_value=1, max_value=rows),
+        "customer_id": ColumnStats(n_distinct=max(1, rows // 20), min_value=1, max_value=rows // 20 or 1),
+        "product_id": ColumnStats(n_distinct=1000, min_value=1, max_value=1000),
+        "amount": ColumnStats(n_distinct=max(1, rows // 10), min_value=0.0, max_value=10_000.0),
+        "sale_date": ColumnStats(n_distinct=3650, min_value=_days(2015), max_value=_days(2025)),
+    }))
+    repository.add_table_stats(TableStats(customers, max(10, rows // 20), {
+        "customer_id": ColumnStats(n_distinct=max(1, rows // 20), min_value=1, max_value=rows // 20 or 1),
+        "region": ColumnStats(n_distinct=50, min_value=0, max_value=50),
+        "signup_date": ColumnStats(n_distinct=3650, min_value=_days(2010), max_value=_days(2025)),
+        "lifetime_value": ColumnStats(n_distinct=max(1, rows // 40), min_value=0.0, max_value=1.0e6),
+    }))
+    return catalog, repository

@@ -1,0 +1,102 @@
+"""Secondary index model: definitions and physical size estimates.
+
+An :class:`Index` is the atomic unit that WFA/WFIT reason about; it is a
+hashable value object so it can live in frozensets (configurations) and in
+dictionary keys. Physical sizing (:class:`IndexSizer`) feeds both the access
+path cost model and the create/drop transition costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .stats import PAGE_SIZE, StatsRepository
+
+__all__ = ["Index", "IndexSizer", "RID_WIDTH"]
+
+#: Bytes per row identifier stored in index leaf entries.
+RID_WIDTH = 8
+
+
+@dataclass(frozen=True, order=True)
+class Index:
+    """A secondary B-tree index over ``columns`` of ``table``.
+
+    The natural ordering (``order=True``) gives a deterministic global order
+    used for tie-breaking in WFA (Appendix B of the paper) and for stable
+    display output.
+    """
+
+    table: str
+    columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.table.count(".") != 1:
+            raise ValueError(f"index table must be qualified: {self.table!r}")
+        if not self.columns:
+            raise ValueError("index must have at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate columns in index: {self.columns!r}")
+
+    @property
+    def name(self) -> str:
+        """Human-readable identifier, e.g. ``ix_lineitem_l_shipdate``."""
+        table_part = self.table.split(".", 1)[1]
+        return "ix_" + table_part + "_" + "_".join(self.columns)
+
+    @property
+    def leading_column(self) -> str:
+        return self.columns[0]
+
+    def covers(self, needed: Tuple[str, ...]) -> bool:
+        """Whether every column in ``needed`` is stored in the index key."""
+        key = set(self.columns)
+        return all(col in key for col in needed)
+
+    def __str__(self) -> str:
+        return f"{self.table}({', '.join(self.columns)})"
+
+
+class IndexSizer:
+    """Physical size/shape estimates for indices, from catalog statistics."""
+
+    #: Typical B-tree fill factor for freshly built indexes.
+    FILL_FACTOR = 0.9
+
+    def __init__(self, stats: StatsRepository) -> None:
+        self._stats = stats
+
+    def entry_width(self, index: Index) -> int:
+        """Bytes per leaf entry: key columns plus a row identifier."""
+        table = self._stats.catalog.table(index.table)
+        key_width = sum(table.column(c).byte_width for c in index.columns)
+        return key_width + RID_WIDTH
+
+    def entries_per_page(self, index: Index) -> int:
+        usable = int(PAGE_SIZE * self.FILL_FACTOR)
+        return max(1, usable // self.entry_width(index))
+
+    def leaf_pages(self, index: Index) -> int:
+        rows = self._stats.row_count(index.table)
+        return max(1, -(-rows // self.entries_per_page(index)))
+
+    def height(self, index: Index) -> int:
+        """Levels above the leaves (root counts as one level)."""
+        fanout = max(2, self.entries_per_page(index))
+        leaves = self.leaf_pages(index)
+        if leaves <= 1:
+            return 1
+        return max(1, math.ceil(math.log(leaves, fanout)))
+
+    def size_pages(self, index: Index) -> int:
+        """Total pages including the (geometrically small) inner levels."""
+        leaves = self.leaf_pages(index)
+        fanout = max(2, self.entries_per_page(index))
+        inner = 0
+        level = leaves
+        while level > 1:
+            level = -(-level // fanout)
+            inner += level
+        return leaves + inner

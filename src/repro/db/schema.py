@@ -1,0 +1,230 @@
+"""Relational schema objects: columns, tables, databases, and the catalog.
+
+The reproduction is *statistics-driven*: no base data is ever materialized.
+A :class:`Catalog` holds one or more :class:`Database` objects (the paper's
+benchmark hosts TPC-C, TPC-H, TPC-E and NREF side by side), and each table
+carries enough metadata for the cost model in :mod:`repro.optimizer` to price
+plans the way a what-if optimizer would.
+
+Tables are identified by *qualified names* of the form ``"dataset.table"``
+(e.g. ``"tpch.lineitem"``), matching the SQL dialect used by the paper's
+workload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "Table",
+    "Database",
+    "Catalog",
+    "SchemaError",
+]
+
+
+class SchemaError(Exception):
+    """Raised for malformed schemas or unresolved schema references."""
+
+
+class ColumnType(enum.Enum):
+    """Logical column types with a default storage width in bytes.
+
+    The width feeds row-size and index-entry-size estimates; the exact values
+    only need to be plausible, not byte-accurate.
+    """
+
+    INT = ("int", 4)
+    BIGINT = ("bigint", 8)
+    FLOAT = ("float", 8)
+    DECIMAL = ("decimal", 8)
+    DATE = ("date", 4)
+    TIMESTAMP = ("timestamp", 8)
+    CHAR = ("char", 16)
+    TEXT = ("text", 32)
+
+    def __init__(self, label: str, width: int) -> None:
+        self.label = label
+        self.default_width = width
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (
+            ColumnType.INT,
+            ColumnType.BIGINT,
+            ColumnType.FLOAT,
+            ColumnType.DECIMAL,
+        )
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``width`` overrides the type's default storage width (e.g. wide TEXT
+    comment fields).
+    """
+
+    name: str
+    ctype: ColumnType = ColumnType.FLOAT
+    width: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+    @property
+    def byte_width(self) -> int:
+        """Storage width in bytes used for row/index size estimates."""
+        return self.width if self.width is not None else self.ctype.default_width
+
+
+class Table:
+    """A table: an ordered collection of :class:`Column` with a qualified name.
+
+    Parameters
+    ----------
+    qualified_name:
+        ``"dataset.table"`` string; the dataset part names the database.
+    columns:
+        Ordered column definitions. Order matters for display only.
+    """
+
+    def __init__(self, qualified_name: str, columns: Iterable[Column]) -> None:
+        if qualified_name.count(".") != 1:
+            raise SchemaError(
+                f"table name must be qualified as 'dataset.table': {qualified_name!r}"
+            )
+        self.qualified_name = qualified_name
+        self.dataset, self.name = qualified_name.split(".")
+        self._columns: Dict[str, Column] = {}
+        self._ordered: List[Column] = []
+        for col in columns:
+            if col.name in self._columns:
+                raise SchemaError(
+                    f"duplicate column {col.name!r} in table {qualified_name!r}"
+                )
+            self._columns[col.name] = col
+            self._ordered.append(col)
+        if not self._ordered:
+            raise SchemaError(f"table {qualified_name!r} has no columns")
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return tuple(self._ordered)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self._ordered)
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r} in table {self.qualified_name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    @property
+    def row_width(self) -> int:
+        """Estimated row width in bytes (sum of column widths + header)."""
+        header = 24  # tuple header, mirrors typical slotted-page overhead
+        return header + sum(c.byte_width for c in self._ordered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.qualified_name!r}, {len(self._ordered)} columns)"
+
+
+class Database:
+    """A named database: a collection of tables belonging to one dataset."""
+
+    def __init__(self, name: str, tables: Iterable[Table] = ()) -> None:
+        if not name.isidentifier():
+            raise SchemaError(f"invalid database name: {name!r}")
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        for table in tables:
+            self.add_table(table)
+
+    def add_table(self, table: Table) -> None:
+        if table.dataset != self.name:
+            raise SchemaError(
+                f"table {table.qualified_name!r} does not belong to database {self.name!r}"
+            )
+        if table.name in self._tables:
+            raise SchemaError(f"duplicate table {table.qualified_name!r}")
+        self._tables[table.name] = table
+
+    @property
+    def tables(self) -> Tuple[Table, ...]:
+        return tuple(self._tables.values())
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"no table {name!r} in database {self.name!r}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+
+class Catalog:
+    """The top-level namespace: all databases hosted by the simulated system.
+
+    The paper's benchmark runs four databases side by side; queries reference
+    tables with qualified names, which the catalog resolves.
+    """
+
+    def __init__(self, databases: Iterable[Database] = ()) -> None:
+        self._databases: Dict[str, Database] = {}
+        for db in databases:
+            self.add_database(db)
+
+    def add_database(self, db: Database) -> None:
+        if db.name in self._databases:
+            raise SchemaError(f"duplicate database {db.name!r}")
+        self._databases[db.name] = db
+
+    @property
+    def databases(self) -> Tuple[Database, ...]:
+        return tuple(self._databases.values())
+
+    def database(self, name: str) -> Database:
+        try:
+            return self._databases[name]
+        except KeyError:
+            raise SchemaError(f"no database {name!r} in catalog") from None
+
+    def table(self, qualified_name: str) -> Table:
+        """Resolve a ``"dataset.table"`` reference."""
+        if qualified_name.count(".") != 1:
+            raise SchemaError(
+                f"expected qualified 'dataset.table' name: {qualified_name!r}"
+            )
+        dataset, table = qualified_name.split(".")
+        return self.database(dataset).table(table)
+
+    def has_table(self, qualified_name: str) -> bool:
+        try:
+            self.table(qualified_name)
+        except SchemaError:
+            return False
+        return True
+
+    @property
+    def tables(self) -> Tuple[Table, ...]:
+        out: List[Table] = []
+        for db in self._databases.values():
+            out.extend(db.tables)
+        return tuple(out)

@@ -1,0 +1,75 @@
+"""Transition costs δ for changing the materialized index set.
+
+The paper's δ satisfies the triangle inequality but is *not* symmetric:
+creating an index (scan + sort + write) is far more expensive than dropping
+one (a catalog update). Both properties hold by construction here, since
+``δ(X, Y)`` decomposes into independent per-index create/drop costs
+(Appendix A of the paper uses exactly this decomposition).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable
+
+from .index import Index, IndexSizer
+from .stats import StatsRepository
+
+__all__ = ["StatsTransitionCosts"]
+
+
+class StatsTransitionCosts:
+    """δ⁺ / δ⁻ derived from catalog statistics.
+
+    Create cost models an external-sort build: read the base table, then sort
+    and write the leaf pages (with a CPU surcharge per row). Drop cost is a
+    small constant — the asymmetry that breaks metricity in the paper.
+    """
+
+    #: Cost units per page read while scanning the base table.
+    SCAN_COST_PER_PAGE = 1.0
+    #: Sort+write multiplier applied to leaf pages.
+    BUILD_COST_PER_LEAF_PAGE = 2.5
+    #: CPU cost per row fed through the sort, in page-read units.
+    CPU_COST_PER_ROW = 0.001
+    #: Fixed cost of dropping any index (catalog + lock work).
+    DROP_COST = 1.0
+
+    def __init__(self, stats: StatsRepository) -> None:
+        self._stats = stats
+        self._sizer = IndexSizer(stats)
+        self._create_cache: dict = {}
+
+    def create_cost(self, index: Index) -> float:
+        """δ⁺(a): cost to materialize ``index``."""
+        cached = self._create_cache.get(index)
+        if cached is not None:
+            return cached
+        table_pages = self._stats.page_count(index.table)
+        rows = self._stats.row_count(index.table)
+        leaf_pages = self._sizer.leaf_pages(index)
+        cost = (
+            table_pages * self.SCAN_COST_PER_PAGE
+            + leaf_pages * self.BUILD_COST_PER_LEAF_PAGE
+            + rows * self.CPU_COST_PER_ROW
+        )
+        self._create_cache[index] = cost
+        return cost
+
+    def drop_cost(self, index: Index) -> float:
+        """δ⁻(a): cost to drop ``index``."""
+        return self.DROP_COST
+
+    def delta(self, old: AbstractSet[Index], new: AbstractSet[Index]) -> float:
+        """δ(old, new): cost to change the materialized set from old to new."""
+        total = 0.0
+        for index in new:
+            if index not in old:
+                total += self.create_cost(index)
+        for index in old:
+            if index not in new:
+                total += self.drop_cost(index)
+        return total
+
+    def round_trip(self, indices: Iterable[Index]) -> float:
+        """Σ (δ⁺ + δ⁻) over ``indices`` — used by the feedback bound (5.1)."""
+        return sum(self.create_cost(a) + self.drop_cost(a) for a in indices)

@@ -1,0 +1,148 @@
+"""Benefit and degree-of-interaction analysis over an IBG (after [16]).
+
+Two quantities drive WFIT's candidate maintenance (§5.2.2):
+
+* ``max_benefit(a)`` — the statement-level benefit statistic β_n recorded in
+  ``idxStats``:  ``max_X benefit_q({a}, X)``.
+* ``degree_of_interaction(a, b)`` — the doi_q(a, b) statistic recorded in
+  ``intStats``:  ``max_X |benefit_q({a}, X) − benefit_q({a}, X ∪ {b})|``.
+
+Both are maxima over configurations ``X ⊆ U``. Evaluating them needs no
+further optimizer calls: every ``cost`` lookup is answered by the IBG. The
+enumeration is restricted to the *interaction scope* of the index — by
+default the IBG indices on the same table, because the cost model localizes
+interactions within a table (hash-join configuration; see DESIGN.md). A
+wider scope can be requested when index-nested-loop joins are enabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Tuple
+
+from ..db.index import Index
+from .graph import IndexBenefitGraph
+
+__all__ = [
+    "interaction_scope",
+    "max_benefit",
+    "degree_of_interaction",
+    "interaction_pairs",
+]
+
+#: Enumerating configurations over more than this many scope indices falls
+#: back to used-set-guided sampling rather than full enumeration.
+_FULL_ENUMERATION_LIMIT = 12
+
+
+def interaction_scope(
+    ibg: IndexBenefitGraph, index: Index, same_table_only: bool = True
+) -> FrozenSet[Index]:
+    """Indices whose presence can change ``index``'s benefit.
+
+    Restricted to indices that appear in some IBG used set: a candidate that
+    is never part of any optimal plan cannot change any cost, hence cannot
+    interact with anything. With the default hash-join cost model the scope
+    is further restricted to the same table (cross-table doi is provably 0).
+    """
+    pool = ibg.all_used_indices() | {index}
+    if same_table_only:
+        return frozenset(
+            other for other in pool
+            if other.table == index.table and other != index
+        )
+    return frozenset(other for other in pool if other != index)
+
+
+def _context_subsets(
+    ibg: IndexBenefitGraph, scope: FrozenSet[Index]
+) -> Iterable[FrozenSet[Index]]:
+    """Candidate contexts X for the maxima.
+
+    Full power set when the scope is small; otherwise the family of used
+    sets realized by IBG nodes (projected into the scope), which is where
+    the piecewise-constant benefit function changes value.
+    """
+    if len(scope) <= _FULL_ENUMERATION_LIMIT:
+        items = sorted(scope)
+        for r in range(len(items) + 1):
+            for combo in itertools.combinations(items, r):
+                yield frozenset(combo)
+        return
+    seen = {frozenset()}
+    yield frozenset()
+    for node in ibg:
+        projected = node.used & scope
+        for r in range(len(projected) + 1):
+            for combo in itertools.combinations(sorted(projected), r):
+                ctx = frozenset(combo)
+                if ctx not in seen:
+                    seen.add(ctx)
+                    yield ctx
+    if scope not in seen:
+        yield scope
+
+
+def max_benefit(
+    ibg: IndexBenefitGraph, index: Index, same_table_only: bool = True
+) -> float:
+    """β = max over X ⊆ U of ``benefit_q({index}, X)`` (0 if never positive)."""
+    if index not in ibg.candidates or index not in ibg.all_used_indices():
+        return 0.0
+    scope = interaction_scope(ibg, index, same_table_only)
+    best = 0.0
+    for context in _context_subsets(ibg, scope):
+        benefit = ibg.cost(context) - ibg.cost(context | {index})
+        if benefit > best:
+            best = benefit
+    return best
+
+
+def degree_of_interaction(
+    ibg: IndexBenefitGraph,
+    a: Index,
+    b: Index,
+    same_table_only: bool = True,
+) -> float:
+    """doi_q(a, b) per §2 of the paper; symmetric in ``a`` and ``b``."""
+    if a == b:
+        raise ValueError("degree of interaction is defined for distinct indices")
+    if a not in ibg.candidates or b not in ibg.candidates:
+        return 0.0
+    if same_table_only and a.table != b.table:
+        return 0.0
+    used_anywhere = ibg.all_used_indices()
+    if a not in used_anywhere or b not in used_anywhere:
+        return 0.0  # an index that never enters a plan cannot interact
+    scope = interaction_scope(ibg, a, same_table_only) - {b}
+    worst = 0.0
+    for context in _context_subsets(ibg, scope):
+        benefit_without = ibg.cost(context) - ibg.cost(context | {a})
+        with_b = context | {b}
+        benefit_with = ibg.cost(with_b) - ibg.cost(with_b | {a})
+        diff = abs(benefit_without - benefit_with)
+        if diff > worst:
+            worst = diff
+    return worst
+
+
+def interaction_pairs(
+    ibg: IndexBenefitGraph,
+    indices: AbstractSet[Index],
+    same_table_only: bool = True,
+) -> Dict[Tuple[Index, Index], float]:
+    """All positive doi values among ``indices`` (keys sorted per pair).
+
+    Pairs are pruned to those that co-occur in some IBG used set or share a
+    table, since any other pair provably has doi 0 in this cost model.
+    """
+    candidates = sorted(set(indices) & set(ibg.candidates))
+    out: Dict[Tuple[Index, Index], float] = {}
+    for i, a in enumerate(candidates):
+        for b in candidates[i + 1:]:
+            if same_table_only and a.table != b.table:
+                continue
+            doi = degree_of_interaction(ibg, a, b, same_table_only)
+            if doi > 0.0:
+                out[(a, b)] = doi
+    return out

@@ -1,0 +1,197 @@
+"""Index Benefit Graph (IBG) construction, after Schnaitter et al. [16].
+
+The IBG for a statement ``q`` and candidate set ``U`` compactly encodes
+``cost(q, X)`` for *every* ``X ⊆ U`` while optimizing only a small number of
+configurations. Each node is a subset ``Y`` annotated with the cost of the
+plan under ``Y`` and ``used(q, Y)`` — the indices the optimal plan depends
+on. Node ``Y`` has one child ``Y − {a}`` per used ``a``.
+
+The core property (Lemma 1 of [16], guaranteed by plan monotonicity): if
+``a ∈ Y − used(Y)`` then ``cost(Y) = cost(Y − {a})``. Therefore the cost of
+an arbitrary ``X`` is found by walking down from the root, repeatedly
+removing a used index not in ``X``.
+
+**Write statements.** For updates/inserts/deletes, *every* index on the
+written table is cost-relevant through maintenance, which would make used
+sets — and hence the graph — exponential. But maintenance charges are
+additive and configuration-independent, so the graph is built over the
+*plan-relevant* used sets only (access paths, joins) with maintenance-free
+"core" costs, and ``cost(X)`` adds ``Σ_{a∈X} maintenance(a)`` analytically.
+This representation is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..db.index import Index
+from ..query.ast import Statement
+from ..optimizer.whatif import WhatIfOptimizer
+
+__all__ = ["IBGNode", "IndexBenefitGraph", "build_ibg"]
+
+
+@dataclass(frozen=True)
+class IBGNode:
+    """One optimized configuration in the IBG.
+
+    ``cost`` is the *core* (maintenance-free) plan cost under ``subset``;
+    ``used`` are the plan-relevant indices.
+    """
+
+    subset: FrozenSet[Index]
+    cost: float
+    used: FrozenSet[Index]
+
+
+class IndexBenefitGraph:
+    """The IBG of one statement over a candidate set ``U``.
+
+    Provides ``cost(X)`` / ``used(X)`` lookups for any ``X ⊆ U`` without
+    further optimizer calls.
+    """
+
+    def __init__(
+        self,
+        statement: Statement,
+        candidates: FrozenSet[Index],
+        nodes: Dict[FrozenSet[Index], IBGNode],
+        root: FrozenSet[Index],
+        maintenance: Dict[Index, float],
+    ) -> None:
+        self.statement = statement
+        self.candidates = candidates
+        self._nodes = nodes
+        self._root = root
+        self._maintenance = dict(maintenance)
+        self._covering_cache: Dict[FrozenSet[Index], IBGNode] = {}
+        self._all_used: Optional[FrozenSet[Index]] = None
+        self.empty_cost = self.cost(frozenset())
+
+    @property
+    def nodes(self) -> Tuple[IBGNode, ...]:
+        return tuple(self._nodes.values())
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def root(self) -> IBGNode:
+        return self._nodes[self._root]
+
+    @property
+    def maintained_indices(self) -> FrozenSet[Index]:
+        """Indices that charge maintenance under this (write) statement."""
+        return frozenset(self._maintenance)
+
+    def _find_covering(self, subset: FrozenSet[Index]) -> IBGNode:
+        """Walk from the root to the node whose core cost equals the
+        target subset's core cost."""
+        cached = self._covering_cache.get(subset)
+        if cached is not None:
+            return cached
+        node = self._nodes[self._root]
+        while True:
+            extra = node.used - subset
+            if not extra:
+                self._covering_cache[subset] = node
+                return node
+            # Remove any used index not in the target subset; deterministic
+            # choice keeps traversals reproducible.
+            drop = min(extra)
+            child_key = node.subset - {drop}
+            child = self._nodes.get(child_key)
+            if child is None:
+                raise KeyError(
+                    f"IBG is missing child {child_key} — was it built with a node cap?"
+                )
+            node = child
+
+    def cost(self, subset: AbstractSet[Index]) -> float:
+        """``cost(q, X)`` for any ``X ⊆ U``, answered from the graph."""
+        wanted = frozenset(subset) & self.candidates
+        total = self._find_covering(wanted).cost
+        if self._maintenance:
+            for index in wanted:
+                charge = self._maintenance.get(index)
+                if charge is not None:
+                    total += charge
+        return total
+
+    def used(self, subset: AbstractSet[Index]) -> FrozenSet[Index]:
+        """``used(q, X)``: the cost-relevant indices under ``X``."""
+        wanted = frozenset(subset) & self.candidates
+        node = self._find_covering(wanted)
+        plan_used = node.used & wanted
+        if not self._maintenance:
+            return plan_used
+        return plan_used | (wanted & frozenset(self._maintenance))
+
+    def benefit(self, extra: AbstractSet[Index], base: AbstractSet[Index]) -> float:
+        """``benefit_q(extra, base)`` evaluated entirely from the graph."""
+        base_set = frozenset(base)
+        return self.cost(base_set) - self.cost(base_set | frozenset(extra))
+
+    def all_used_indices(self) -> FrozenSet[Index]:
+        """Union of cost-relevant indices over all configurations.
+
+        Any candidate outside this set never appears in a plan and pays no
+        maintenance under *any* configuration, so it cannot change any cost
+        or any benefit: analyses may soundly restrict themselves to this set.
+        """
+        if self._all_used is None:
+            out = set(self._maintenance)
+            for node in self._nodes.values():
+                out.update(node.used)
+            self._all_used = frozenset(out)
+        return self._all_used
+
+    def __iter__(self) -> Iterator[IBGNode]:
+        return iter(self._nodes.values())
+
+
+def build_ibg(
+    optimizer: WhatIfOptimizer,
+    statement: Statement,
+    candidates: AbstractSet[Index],
+    max_nodes: int = 4096,
+) -> IndexBenefitGraph:
+    """Construct the IBG of ``statement`` over ``candidates``.
+
+    Only indices relevant to the statement (on its referenced tables) are
+    kept in the root; the rest can never appear in a plan. ``max_nodes``
+    bounds pathological blow-up; the bound is generous because each node
+    expands only into ``|plan-used|`` children and plan-used sets are small.
+    """
+    relevant = optimizer.relevant_subset(statement, candidates)
+    maintenance: Dict[Index, float] = {}
+    if statement.is_update:
+        for index in relevant:
+            charge = optimizer.maintenance_cost(statement, index)
+            if charge > 0.0:
+                maintenance[index] = charge
+
+    root = frozenset(relevant)
+    nodes: Dict[FrozenSet[Index], IBGNode] = {}
+    queue: List[FrozenSet[Index]] = [root]
+    while queue:
+        subset = queue.pop()
+        if subset in nodes:
+            continue
+        if len(nodes) >= max_nodes:
+            raise RuntimeError(
+                f"IBG exceeded {max_nodes} nodes for statement {statement!r}"
+            )
+        cost, plan_used = optimizer.plan_usage(statement, subset)
+        plan_used &= subset
+        # Store the maintenance-free core cost so lookups stay exact for
+        # arbitrary subsets (maintenance is re-added per lookup).
+        core = cost - sum(maintenance.get(ix, 0.0) for ix in subset)
+        nodes[subset] = IBGNode(subset=subset, cost=core, used=plan_used)
+        for index in plan_used:
+            child = subset - {index}
+            if child not in nodes:
+                queue.append(child)
+    return IndexBenefitGraph(statement, root, nodes, root, maintenance)

@@ -1,0 +1,30 @@
+"""What-if optimizer substrate: cost model, access paths, candidate extraction."""
+
+from .access import AccessCostModel, AccessCosts, AccessPath
+from .cost_model import CostModel, CostModelConfig, JoinStep, MaintenanceItem, QueryPlan
+from .extract import MAX_COMPOSITE_WIDTH, extract_indices
+from .selectivity import (
+    combined_selectivity,
+    join_selectivity,
+    predicate_selectivity,
+    selectivity_by_column,
+)
+from .whatif import WhatIfOptimizer
+
+__all__ = [
+    "AccessCostModel",
+    "AccessCosts",
+    "AccessPath",
+    "CostModel",
+    "CostModelConfig",
+    "JoinStep",
+    "MAX_COMPOSITE_WIDTH",
+    "MaintenanceItem",
+    "QueryPlan",
+    "WhatIfOptimizer",
+    "combined_selectivity",
+    "extract_indices",
+    "join_selectivity",
+    "predicate_selectivity",
+    "selectivity_by_column",
+]

@@ -1,0 +1,144 @@
+"""Candidate index extraction — the paper's ``extractIndices(q)`` primitive.
+
+DB2's design advisor provides this in the prototype (§5.2.2, Figure 6
+line 1); here it is implemented syntactically: every sargable predicate,
+join and ORDER BY column yields a single-column index, and bounded composite
+indexes are generated in the canonical equality-columns-then-range-column
+order plus covering composites for narrow count(*)-style queries.
+
+The output is intentionally a *superset* of useful indices — WFIT's
+``topIndices`` is responsible for pruning (Figure 6 line 5).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from ..db.index import Index
+from ..query.ast import (
+    DeleteStatement,
+    EqualityPredicate,
+    RangePredicate,
+    SelectQuery,
+    Statement,
+    UpdateStatement,
+)
+
+__all__ = ["extract_indices", "MAX_COMPOSITE_WIDTH"]
+
+#: Widest composite index the extractor will propose.
+MAX_COMPOSITE_WIDTH = 3
+
+
+def _dedupe(columns: Sequence[str]) -> Tuple[str, ...]:
+    seen: Set[str] = set()
+    out: List[str] = []
+    for column in columns:
+        if column not in seen:
+            seen.add(column)
+            out.append(column)
+    return tuple(out)
+
+
+def _candidates_for_table(
+    table: str,
+    eq_columns: Sequence[str],
+    range_columns: Sequence[str],
+    join_columns: Sequence[str],
+    order_columns: Sequence[str],
+) -> Set[Index]:
+    candidates: Set[Index] = set()
+    singles = _dedupe([*eq_columns, *range_columns, *join_columns, *order_columns])
+    for column in singles:
+        candidates.add(Index(table, (column,)))
+
+    # Canonical composite: equality columns first, then the most useful range
+    # column (B-tree matching stops at the first range column).
+    eq = _dedupe(eq_columns)
+    ranges = _dedupe(range_columns)
+    if eq and (len(eq) > 1 or ranges):
+        key = list(eq[:MAX_COMPOSITE_WIDTH])
+        if ranges and len(key) < MAX_COMPOSITE_WIDTH:
+            key.append(ranges[0])
+        if len(key) > 1:
+            candidates.add(Index(table, tuple(key)))
+
+    # Join-driven composites: join column leading (useful for lookup joins),
+    # then the best local filter column.
+    for join_column in _dedupe(join_columns):
+        filters = [c for c in _dedupe([*eq, *ranges]) if c != join_column]
+        if filters:
+            candidates.add(Index(table, (join_column, filters[0])))
+
+    # ORDER BY composite (delivers the requested order directly).
+    order = _dedupe(order_columns)
+    if len(order) > 1:
+        candidates.add(Index(table, order[:MAX_COMPOSITE_WIDTH]))
+
+    # Covering composite: sargable columns first, then the remaining needed
+    # columns as suffix. Enables index-only scans for narrow queries such as
+    # the benchmark's count(*) shapes.
+    needed = _dedupe([*eq, *ranges, *join_columns, *order_columns])
+    if 2 <= len(needed) <= MAX_COMPOSITE_WIDTH:
+        key = list(eq)
+        if ranges:
+            key.append(ranges[0])
+        key.extend(c for c in needed if c not in key)
+        candidates.add(Index(table, tuple(key[:MAX_COMPOSITE_WIDTH])))
+    return candidates
+
+
+def extract_indices(statement: Statement) -> FrozenSet[Index]:
+    """Indices that could plausibly improve ``statement``.
+
+    Updates yield candidates only from their WHERE clause: an index whose key
+    is a SET column can never help (it only adds maintenance cost), so it is
+    not proposed — though WFIT may still track such an index if another
+    statement proposed it.
+    """
+    candidates: Set[Index] = set()
+    if isinstance(statement, SelectQuery):
+        for table in statement.tables:
+            eq_columns = [
+                p.column.column
+                for p in statement.predicates_on(table)
+                if isinstance(p, EqualityPredicate)
+            ]
+            range_columns = [
+                p.column.column
+                for p in statement.predicates_on(table)
+                if isinstance(p, RangePredicate)
+            ]
+            join_columns = [
+                j.column_on(table).column for j in statement.joins_on(table)
+            ]
+            order_columns = (
+                [c.column for c in statement.order_by.columns]
+                if statement.order_by is not None
+                and statement.order_by.table == table
+                else []
+            )
+            candidates.update(_candidates_for_table(
+                table, eq_columns, range_columns, join_columns, order_columns
+            ))
+    elif isinstance(statement, (UpdateStatement, DeleteStatement)):
+        table = statement.table
+        eq_columns = [
+            p.column.column
+            for p in statement.predicates_on(table)
+            if isinstance(p, EqualityPredicate)
+        ]
+        range_columns = [
+            p.column.column
+            for p in statement.predicates_on(table)
+            if isinstance(p, RangePredicate)
+        ]
+        if isinstance(statement, UpdateStatement):
+            set_columns = set(statement.set_columns)
+            eq_columns = [c for c in eq_columns if c not in set_columns]
+            range_columns = [c for c in range_columns if c not in set_columns]
+        candidates.update(_candidates_for_table(
+            table, eq_columns, range_columns, [], []
+        ))
+    # INSERT proposes nothing: new indexes only hurt inserts.
+    return frozenset(candidates)

@@ -1,0 +1,73 @@
+"""Selectivity estimation for conjunctive predicates.
+
+Uniform-distribution, attribute-independence estimates — the textbook model,
+which is also what matters here: the paper evaluates tuning quality *under
+the optimizer's own cost model*, so the estimator only needs to be
+self-consistent, not accurate against real data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..db.stats import StatsRepository
+from ..query.ast import EqualityPredicate, RangePredicate, TablePredicate
+
+__all__ = [
+    "predicate_selectivity",
+    "combined_selectivity",
+    "selectivity_by_column",
+    "join_selectivity",
+]
+
+
+def predicate_selectivity(stats: StatsRepository, pred: TablePredicate) -> float:
+    """Selectivity in ``[0, 1]`` of a single predicate."""
+    column_stats = stats.column_stats(pred.table, pred.column.column)
+    if isinstance(pred, EqualityPredicate):
+        return column_stats.eq_selectivity()
+    return column_stats.range_selectivity(pred.lo, pred.hi)
+
+
+def combined_selectivity(
+    stats: StatsRepository, preds: Iterable[TablePredicate]
+) -> float:
+    """Product of per-predicate selectivities (independence assumption)."""
+    sel = 1.0
+    for pred in preds:
+        sel *= predicate_selectivity(stats, pred)
+    return sel
+
+
+def selectivity_by_column(
+    stats: StatsRepository, preds: Sequence[TablePredicate]
+) -> Mapping[str, Tuple[float, bool]]:
+    """Map column name -> (selectivity, is_equality) for sargability checks.
+
+    If several predicates touch the same column their selectivities multiply
+    and the column counts as an equality match only if all are equalities.
+    """
+    out: dict = {}
+    for pred in preds:
+        name = pred.column.column
+        sel = predicate_selectivity(stats, pred)
+        is_eq = isinstance(pred, EqualityPredicate)
+        if name in out:
+            prev_sel, prev_eq = out[name]
+            out[name] = (prev_sel * sel, prev_eq and is_eq)
+        else:
+            out[name] = (sel, is_eq)
+    return out
+
+
+def join_selectivity(
+    stats: StatsRepository,
+    left_table: str,
+    left_column: str,
+    right_table: str,
+    right_column: str,
+) -> float:
+    """Equi-join selectivity ``1 / max(ndv_left, ndv_right)``."""
+    left_ndv = stats.column_stats(left_table, left_column).n_distinct
+    right_ndv = stats.column_stats(right_table, right_column).n_distinct
+    return 1.0 / max(left_ndv, right_ndv, 1)

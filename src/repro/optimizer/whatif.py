@@ -1,0 +1,156 @@
+"""The what-if optimizer interface consumed by the tuning algorithms.
+
+Modern optimizers expose hypothetical-configuration costing; the paper's
+prototype calls DB2's. :class:`WhatIfOptimizer` provides the same contract
+over the analytical :class:`~repro.optimizer.cost_model.CostModel`, plus:
+
+* **Relevance reduction** — only indices on the statement's tables affect
+  its plan, so the cache key is the relevant sub-configuration.
+* **Used-set extraction** — ``optimize()`` returns the plan cost together
+  with the set of indices the plan depends on, which is exactly what the
+  Index Benefit Graph of [16] needs.
+* **Memoization with call accounting** — ``whatif_calls`` counts every
+  costing request; ``optimizations`` counts actual (cache-missing) plan
+  optimizations, the expensive quantity the paper reports in §6.2.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Optional, Tuple
+
+from ..db.index import Index
+from ..db.stats import StatsRepository
+from ..query.ast import Statement
+from .cost_model import CostModel, CostModelConfig, QueryPlan
+
+__all__ = ["WhatIfOptimizer"]
+
+
+class WhatIfOptimizer:
+    """Memoizing what-if costing facade over a :class:`CostModel`."""
+
+    def __init__(
+        self,
+        stats: StatsRepository,
+        config: Optional[CostModelConfig] = None,
+    ) -> None:
+        self._model = CostModel(stats, config)
+        self._cache: Dict[
+            Tuple[Statement, FrozenSet[Index]],
+            Tuple[float, FrozenSet[Index], FrozenSet[Index]],
+        ] = {}
+        self._maintenance_cache: Dict[Tuple[Statement, Index], float] = {}
+        self.whatif_calls = 0
+        self.optimizations = 0
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._model
+
+    @property
+    def stats(self) -> StatsRepository:
+        return self._model.stats
+
+    def relevant_subset(
+        self, statement: Statement, config: AbstractSet[Index]
+    ) -> FrozenSet[Index]:
+        """Indices of ``config`` that can influence ``statement``'s plan."""
+        tables = set(statement.tables_referenced())
+        return frozenset(ix for ix in config if ix.table in tables)
+
+    @staticmethod
+    def _plan_indices(plan: QueryPlan) -> FrozenSet[Index]:
+        """Indices the chosen *plan* depends on (access paths and joins)."""
+        used = set()
+        for _, path in plan.access_paths:
+            used.update(path.indexes)
+        for step in plan.join_steps:
+            if step.index is not None:
+                used.add(step.index)
+        return frozenset(used)
+
+    @staticmethod
+    def _used_indices(plan: QueryPlan) -> FrozenSet[Index]:
+        """Indices the plan's cost actually depends on.
+
+        Access-path and join indices lower the cost; maintenance-paying
+        indices raise it. Either way, removing any other index from the
+        configuration leaves the cost unchanged — the property the IBG
+        traversal relies on.
+        """
+        used = set(WhatIfOptimizer._plan_indices(plan))
+        for item in plan.maintenance:
+            used.add(item.index)
+        return frozenset(used)
+
+    def _lookup(
+        self, statement: Statement, config: AbstractSet[Index]
+    ) -> Tuple[float, FrozenSet[Index], FrozenSet[Index]]:
+        self.whatif_calls += 1
+        key = (statement, self.relevant_subset(statement, config))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.optimizations += 1
+        plan = self._model.explain(statement, key[1])
+        result = (
+            plan.total_cost,
+            self._used_indices(plan),
+            self._plan_indices(plan),
+        )
+        self._cache[key] = result
+        return result
+
+    def optimize(
+        self, statement: Statement, config: AbstractSet[Index]
+    ) -> Tuple[float, FrozenSet[Index]]:
+        """``(cost(q, X), used(q, X))`` with caching on the relevant subset."""
+        cost, used, _ = self._lookup(statement, config)
+        return cost, used
+
+    def plan_usage(
+        self, statement: Statement, config: AbstractSet[Index]
+    ) -> Tuple[float, FrozenSet[Index]]:
+        """``(cost, plan-used)`` — used indices excluding maintenance-only
+        ones (those affect the cost additively; see ``maintenance_cost``)."""
+        cost, _, plan_used = self._lookup(statement, config)
+        return cost, plan_used
+
+    def maintenance_cost(self, statement: Statement, index: Index) -> float:
+        """Config-independent maintenance charge of ``index`` (0 for reads)."""
+        key = (statement, index)
+        cached = self._maintenance_cache.get(key)
+        if cached is None:
+            cached = self._model.maintenance_cost(statement, index)
+            self._maintenance_cache[key] = cached
+        return cached
+
+    def cost(self, statement: Statement, config: AbstractSet[Index]) -> float:
+        """``cost(q, X)``: cost of the best plan under configuration ``config``."""
+        return self.optimize(statement, config)[0]
+
+    def explain(self, statement: Statement, config: AbstractSet[Index]) -> QueryPlan:
+        """The chosen plan (not cached; used for inspection and examples)."""
+        return self._model.explain(
+            statement, self.relevant_subset(statement, config)
+        )
+
+    def benefit(
+        self,
+        statement: Statement,
+        extra: AbstractSet[Index],
+        base: AbstractSet[Index],
+    ) -> float:
+        """``benefit_q(Y, X) = cost(q, X) − cost(q, Y ∪ X)`` (§2).
+
+        Negative for update statements when ``extra`` incurs maintenance.
+        """
+        return self.cost(statement, base) - self.cost(statement, set(base) | set(extra))
+
+    def reset_counters(self) -> None:
+        self.whatif_calls = 0
+        self.optimizations = 0
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._maintenance_cache.clear()

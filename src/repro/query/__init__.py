@@ -1,0 +1,40 @@
+"""Statement representation: AST, SQL-subset parser, and fluent builders."""
+
+from .ast import (
+    ColumnRef,
+    DeleteStatement,
+    EqualityPredicate,
+    InsertStatement,
+    JoinPredicate,
+    OrderBy,
+    RangePredicate,
+    SelectQuery,
+    Statement,
+    TablePredicate,
+    UpdateStatement,
+)
+from .builder import DeleteBuilder, SelectBuilder, UpdateBuilder, delete, select, update
+from .parser import ParseError, parse_statement, to_sql
+
+__all__ = [
+    "ColumnRef",
+    "DeleteBuilder",
+    "DeleteStatement",
+    "EqualityPredicate",
+    "InsertStatement",
+    "JoinPredicate",
+    "OrderBy",
+    "ParseError",
+    "RangePredicate",
+    "SelectBuilder",
+    "SelectQuery",
+    "Statement",
+    "TablePredicate",
+    "UpdateBuilder",
+    "UpdateStatement",
+    "delete",
+    "parse_statement",
+    "select",
+    "to_sql",
+    "update",
+]

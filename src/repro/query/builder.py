@@ -1,0 +1,174 @@
+"""Fluent builders for programmatic statement construction.
+
+Examples
+--------
+>>> from repro.query import select, update
+>>> q = (select("tpch.lineitem")
+...      .where_between("l_shipdate", 8000, 8100)
+...      .count_star()
+...      .build())
+>>> u = (update("tpch.lineitem")
+...      .set("l_tax")
+...      .where_between("l_extendedprice", 65522.378, 66256.943)
+...      .build())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    ColumnRef,
+    DeleteStatement,
+    EqualityPredicate,
+    JoinPredicate,
+    OrderBy,
+    RangePredicate,
+    SelectQuery,
+    TablePredicate,
+    UpdateStatement,
+)
+
+__all__ = ["select", "update", "delete", "SelectBuilder", "UpdateBuilder", "DeleteBuilder"]
+
+
+class SelectBuilder:
+    """Accumulates the pieces of a :class:`~repro.query.ast.SelectQuery`."""
+
+    def __init__(self, first_table: str) -> None:
+        self._tables: List[str] = [first_table]
+        self._predicates: List[TablePredicate] = []
+        self._joins: List[JoinPredicate] = []
+        self._projection: List[ColumnRef] = []
+        self._order_by: Optional[OrderBy] = None
+
+    def _resolve(self, column: str, table: Optional[str]) -> ColumnRef:
+        if table is not None:
+            return ColumnRef(table, column)
+        if len(self._tables) == 1:
+            return ColumnRef(self._tables[0], column)
+        raise ValueError(
+            f"column {column!r} is ambiguous: pass table= with multiple tables"
+        )
+
+    def join(self, table: str, on: Tuple[str, str]) -> "SelectBuilder":
+        """Add ``table`` with an equi-join ``existing.on[0] = table.on[1]``.
+
+        The left side of ``on`` is resolved against the most recently added
+        table when unqualified.
+        """
+        left_col, right_col = on
+        left = self._resolve(left_col, None) if len(self._tables) == 1 else None
+        if left is None:
+            left = ColumnRef(self._tables[-1], left_col)
+        self._tables.append(table)
+        self._joins.append(JoinPredicate(left, ColumnRef(table, right_col)))
+        return self
+
+    def where_eq(self, column: str, value: object = None, table: Optional[str] = None) -> "SelectBuilder":
+        self._predicates.append(EqualityPredicate(self._resolve(column, table), value))
+        return self
+
+    def where_between(
+        self, column: str, lo: float, hi: float, table: Optional[str] = None
+    ) -> "SelectBuilder":
+        self._predicates.append(RangePredicate(self._resolve(column, table), lo=lo, hi=hi))
+        return self
+
+    def where_ge(self, column: str, lo: float, table: Optional[str] = None) -> "SelectBuilder":
+        self._predicates.append(RangePredicate(self._resolve(column, table), lo=lo))
+        return self
+
+    def where_le(self, column: str, hi: float, table: Optional[str] = None) -> "SelectBuilder":
+        self._predicates.append(RangePredicate(self._resolve(column, table), hi=hi))
+        return self
+
+    def count_star(self) -> "SelectBuilder":
+        self._projection = []
+        return self
+
+    def project(self, column: str, table: Optional[str] = None) -> "SelectBuilder":
+        self._projection.append(self._resolve(column, table))
+        return self
+
+    def order_by(self, *columns: str, table: Optional[str] = None) -> "SelectBuilder":
+        refs = tuple(self._resolve(c, table) for c in columns)
+        self._order_by = OrderBy(refs)
+        return self
+
+    def build(self) -> SelectQuery:
+        return SelectQuery(
+            tables=tuple(self._tables),
+            predicates=tuple(self._predicates),
+            joins=tuple(self._joins),
+            projection=tuple(self._projection),
+            order_by=self._order_by,
+        )
+
+
+class UpdateBuilder:
+    """Accumulates the pieces of an :class:`~repro.query.ast.UpdateStatement`."""
+
+    def __init__(self, table: str) -> None:
+        self._table = table
+        self._set_columns: List[str] = []
+        self._predicates: List[TablePredicate] = []
+
+    def set(self, *columns: str) -> "UpdateBuilder":
+        self._set_columns.extend(columns)
+        return self
+
+    def where_eq(self, column: str, value: object = None) -> "UpdateBuilder":
+        self._predicates.append(
+            EqualityPredicate(ColumnRef(self._table, column), value)
+        )
+        return self
+
+    def where_between(self, column: str, lo: float, hi: float) -> "UpdateBuilder":
+        self._predicates.append(
+            RangePredicate(ColumnRef(self._table, column), lo=lo, hi=hi)
+        )
+        return self
+
+    def build(self) -> UpdateStatement:
+        return UpdateStatement(
+            self._table, tuple(self._set_columns), tuple(self._predicates)
+        )
+
+
+class DeleteBuilder:
+    """Accumulates the pieces of a :class:`~repro.query.ast.DeleteStatement`."""
+
+    def __init__(self, table: str) -> None:
+        self._table = table
+        self._predicates: List[TablePredicate] = []
+
+    def where_eq(self, column: str, value: object = None) -> "DeleteBuilder":
+        self._predicates.append(
+            EqualityPredicate(ColumnRef(self._table, column), value)
+        )
+        return self
+
+    def where_between(self, column: str, lo: float, hi: float) -> "DeleteBuilder":
+        self._predicates.append(
+            RangePredicate(ColumnRef(self._table, column), lo=lo, hi=hi)
+        )
+        return self
+
+    def build(self) -> DeleteStatement:
+        return DeleteStatement(self._table, tuple(self._predicates))
+
+
+def select(table: str) -> SelectBuilder:
+    """Start building a SELECT over ``table`` (qualified ``dataset.table``)."""
+    return SelectBuilder(table)
+
+
+def update(table: str) -> UpdateBuilder:
+    """Start building an UPDATE of ``table``."""
+    return UpdateBuilder(table)
+
+
+def delete(table: str) -> DeleteBuilder:
+    """Start building a DELETE from ``table``."""
+    return DeleteBuilder(table)

@@ -1,0 +1,19 @@
+"""The online index-tuning benchmark workload (after [15])."""
+
+from .generator import WorkloadGenerator, generate_workload
+from .phases import DEFAULT_PHASES, PhaseSpec, scaled_phases
+from .profiles import DATASET_JOINS, DatasetProfile, JoinEdge, build_profile
+from .trace import Workload
+
+__all__ = [
+    "DATASET_JOINS",
+    "DEFAULT_PHASES",
+    "DatasetProfile",
+    "JoinEdge",
+    "PhaseSpec",
+    "Workload",
+    "WorkloadGenerator",
+    "build_profile",
+    "generate_workload",
+    "scaled_phases",
+]

@@ -1,0 +1,385 @@
+"""Deterministic generator for the 8-phase online tuning benchmark.
+
+Each phase draws statements from a small pool of *templates* — parameterized
+query/update shapes whose literals jitter per instance. Repeated templates
+are what make indices worth building (benefit accumulates across statements)
+while the phase schedule shifts which indices matter, and intervening
+updates make some indices transiently expensive — the stress properties the
+paper relies on (§6.1).
+
+Everything is seeded: the same ``(catalog, phases, seed)`` triple yields the
+identical workload, which the experiments require for comparability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..db.schema import Catalog
+from ..db.stats import StatsRepository
+from ..query.ast import (
+    ColumnRef,
+    DeleteStatement,
+    EqualityPredicate,
+    InsertStatement,
+    JoinPredicate,
+    OrderBy,
+    RangePredicate,
+    SelectQuery,
+    Statement,
+    TablePredicate,
+    UpdateStatement,
+)
+from .phases import DEFAULT_PHASES, PhaseSpec
+from .profiles import DatasetProfile, JoinEdge, build_profile
+from .trace import Workload
+
+__all__ = ["WorkloadGenerator", "generate_workload"]
+
+# Selectivity ranges (log-uniform) for generated predicates.
+_QUERY_SEL_RANGE = (0.002, 0.35)
+_UPDATE_SEL_RANGE = (0.0005, 0.02)
+_DELETE_SEL_RANGE = (0.001, 0.01)
+#: Bulk-insert size as a fraction of the table's rows. Inserts maintain
+#: every index on the table, which is what makes indices "beneficial only
+#: for short windows" across phases (§6.2, the lag experiment's rationale).
+_INSERT_FRACTION_RANGE = (0.001, 0.006)
+#: Relative mix of write-statement kinds within a phase's update budget.
+_WRITE_KIND_WEIGHTS = {"update": 0.4, "insert": 0.45, "delete": 0.15}
+
+
+@dataclass(frozen=True)
+class _RangeSpec:
+    table: str
+    column: str
+    target_selectivity: float
+
+
+@dataclass(frozen=True)
+class _EqSpec:
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class _QueryTemplate:
+    dataset: str
+    tables: Tuple[str, ...]
+    joins: Tuple[JoinEdge, ...]
+    ranges: Tuple[_RangeSpec, ...]
+    equalities: Tuple[_EqSpec, ...]
+    projection: Tuple[ColumnRef, ...]
+    order_by: Optional[OrderBy]
+
+
+@dataclass(frozen=True)
+class _UpdateTemplate:
+    table: str
+    set_column: str
+    where: Optional[_RangeSpec]
+
+
+@dataclass(frozen=True)
+class _InsertTemplate:
+    table: str
+    fraction: float  # rows inserted as a fraction of the table's row count
+
+
+@dataclass(frozen=True)
+class _DeleteTemplate:
+    table: str
+    where: _RangeSpec
+
+
+_WriteTemplate = object  # union of the three write template kinds
+
+
+class WorkloadGenerator:
+    """Generates benchmark workloads over a catalog's datasets."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        stats: StatsRepository,
+        seed: int = 42,
+    ) -> None:
+        self._catalog = catalog
+        self._stats = stats
+        self._seed = seed
+        self._profiles: Dict[str, DatasetProfile] = {}
+
+    def _profile(self, dataset: str) -> DatasetProfile:
+        profile = self._profiles.get(dataset)
+        if profile is None:
+            profile = build_profile(dataset, self._catalog, self._stats)
+            self._profiles[dataset] = profile
+        return profile
+
+    # -- template construction ------------------------------------------------
+
+    def _pick_tables(
+        self, rng: random.Random, profile: DatasetProfile
+    ) -> Tuple[Tuple[str, ...], Tuple[JoinEdge, ...]]:
+        """Random connected table chain of length 1–3 over the join graph."""
+        start = rng.choice(sorted(profile.tables))
+        tables: List[str] = [start]
+        joins: List[JoinEdge] = []
+        target_len = rng.choices([1, 2, 3], weights=[0.35, 0.4, 0.25])[0]
+        while len(tables) < target_len:
+            frontier: List[Tuple[str, JoinEdge]] = []
+            for table in tables:
+                for neighbor, edge in profile.neighbors(table):
+                    if neighbor not in tables:
+                        frontier.append((neighbor, edge))
+            if not frontier:
+                break
+            frontier.sort(key=lambda item: (item[0], item[1].left_column))
+            neighbor, edge = rng.choice(frontier)
+            tables.append(neighbor)
+            joins.append(edge)
+        return tuple(tables), tuple(joins)
+
+    def _log_uniform(
+        self, rng: random.Random, bounds: Tuple[float, float]
+    ) -> float:
+        import math
+        lo, hi = bounds
+        return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+    def _make_query_template(
+        self, rng: random.Random, profile: DatasetProfile
+    ) -> Optional[_QueryTemplate]:
+        tables, joins = self._pick_tables(rng, profile)
+        ranges: List[_RangeSpec] = []
+        equalities: List[_EqSpec] = []
+        for table in tables:
+            available = list(profile.range_columns.get(table, ()))
+            rng.shuffle(available)
+            picks = available[: rng.choices([0, 1, 2], weights=[0.2, 0.55, 0.25])[0]]
+            for column in picks:
+                ranges.append(_RangeSpec(
+                    table, column, self._log_uniform(rng, _QUERY_SEL_RANGE)
+                ))
+            eq_pool = [
+                c for c in profile.eq_columns.get(table, ()) if c not in picks
+            ]
+            if eq_pool and rng.random() < 0.25:
+                equalities.append(_EqSpec(table, rng.choice(sorted(eq_pool))))
+        if not ranges and not equalities:
+            # A predicate-free template exercises nothing; retry cheaply with
+            # a forced range on the first table that has one.
+            for table in tables:
+                pool = profile.range_columns.get(table, ())
+                if pool:
+                    ranges.append(_RangeSpec(
+                        table,
+                        rng.choice(sorted(pool)),
+                        self._log_uniform(rng, _QUERY_SEL_RANGE),
+                    ))
+                    break
+            if not ranges:
+                return None
+
+        projection: Tuple[ColumnRef, ...] = ()
+        if rng.random() < 0.2 and ranges:
+            spec = rng.choice(sorted(ranges, key=lambda r: (r.table, r.column)))
+            projection = (ColumnRef(spec.table, spec.column),)
+
+        order_by: Optional[OrderBy] = None
+        if len(tables) == 1 and rng.random() < 0.15:
+            pool = profile.range_columns.get(tables[0], ())
+            if pool:
+                order_by = OrderBy((ColumnRef(tables[0], rng.choice(sorted(pool))),))
+
+        return _QueryTemplate(
+            dataset=profile.dataset,
+            tables=tables,
+            joins=joins,
+            ranges=tuple(ranges),
+            equalities=tuple(equalities),
+            projection=projection,
+            order_by=order_by,
+        )
+
+    def _make_write_template(
+        self, rng: random.Random, profile: DatasetProfile
+    ) -> Optional[_WriteTemplate]:
+        kinds = sorted(_WRITE_KIND_WEIGHTS)
+        kind = rng.choices(
+            kinds, weights=[_WRITE_KIND_WEIGHTS[k] for k in kinds]
+        )[0]
+        if kind == "insert":
+            pool = [t for t in sorted(profile.tables) if profile.range_columns.get(t)]
+            if not pool:
+                return None
+            return _InsertTemplate(
+                table=rng.choice(pool),
+                fraction=self._log_uniform(rng, _INSERT_FRACTION_RANGE),
+            )
+        if kind == "delete":
+            pool = [t for t in sorted(profile.tables) if profile.range_columns.get(t)]
+            if not pool:
+                return None
+            table = rng.choice(pool)
+            column = rng.choice(sorted(profile.range_columns[table]))
+            return _DeleteTemplate(
+                table=table,
+                where=_RangeSpec(
+                    table, column, self._log_uniform(rng, _DELETE_SEL_RANGE)
+                ),
+            )
+        candidates = [
+            t for t in sorted(profile.tables) if profile.set_columns.get(t)
+        ]
+        if not candidates:
+            return None
+        table = rng.choice(candidates)
+        set_column = rng.choice(sorted(profile.set_columns[table]))
+        where: Optional[_RangeSpec] = None
+        where_pool = [
+            c for c in profile.range_columns.get(table, ()) if c != set_column
+        ]
+        if where_pool:
+            where = _RangeSpec(
+                table,
+                rng.choice(sorted(where_pool)),
+                self._log_uniform(rng, _UPDATE_SEL_RANGE),
+            )
+        return _UpdateTemplate(table=table, set_column=set_column, where=where)
+
+    # -- template instantiation -----------------------------------------------
+
+    def _instantiate_range(
+        self, rng: random.Random, spec: _RangeSpec
+    ) -> RangePredicate:
+        col_stats = self._stats.column_stats(spec.table, spec.column)
+        domain = col_stats.domain_width
+        selectivity = spec.target_selectivity * rng.uniform(0.8, 1.25)
+        selectivity = min(selectivity, 0.9)
+        width = max(domain * selectivity, 0.0)
+        lo_min = col_stats.min_value
+        hi_max = col_stats.max_value
+        if width >= domain:
+            lo, hi = lo_min, hi_max
+        else:
+            lo = rng.uniform(lo_min, hi_max - width)
+            hi = lo + width
+        return RangePredicate(ColumnRef(spec.table, spec.column), lo=lo, hi=hi)
+
+    def _instantiate_query(
+        self, rng: random.Random, template: _QueryTemplate
+    ) -> SelectQuery:
+        predicates: List[TablePredicate] = [
+            self._instantiate_range(rng, spec) for spec in template.ranges
+        ]
+        for spec in template.equalities:
+            col_stats = self._stats.column_stats(spec.table, spec.column)
+            value = float(rng.randrange(int(max(col_stats.n_distinct, 1))))
+            predicates.append(
+                EqualityPredicate(ColumnRef(spec.table, spec.column), value)
+            )
+        joins = tuple(
+            JoinPredicate(
+                ColumnRef(edge.left_table, edge.left_column),
+                ColumnRef(edge.right_table, edge.right_column),
+            )
+            for edge in template.joins
+        )
+        return SelectQuery(
+            tables=template.tables,
+            predicates=tuple(predicates),
+            joins=joins,
+            projection=template.projection,
+            order_by=template.order_by,
+        )
+
+    def _instantiate_write(
+        self, rng: random.Random, template: _WriteTemplate
+    ) -> Statement:
+        if isinstance(template, _InsertTemplate):
+            rows = self._stats.row_count(template.table)
+            count = max(1, int(rows * template.fraction * rng.uniform(0.8, 1.25)))
+            return InsertStatement(table=template.table, row_count=count)
+        if isinstance(template, _DeleteTemplate):
+            return DeleteStatement(
+                table=template.table,
+                predicates=(self._instantiate_range(rng, template.where),),
+            )
+        assert isinstance(template, _UpdateTemplate)
+        predicates: Tuple[TablePredicate, ...] = ()
+        if template.where is not None:
+            predicates = (self._instantiate_range(rng, template.where),)
+        return UpdateStatement(
+            table=template.table,
+            set_columns=(template.set_column,),
+            predicates=predicates,
+        )
+
+    # -- phase/workload generation ----------------------------------------------
+
+    def _phase_templates(
+        self, rng: random.Random, phase: PhaseSpec
+    ) -> Tuple[List[_QueryTemplate], List[_WriteTemplate]]:
+        datasets = sorted(phase.dataset_weights)
+        weights = [phase.dataset_weights[d] for d in datasets]
+        update_templates_wanted = (
+            max(1, round(phase.template_count * phase.update_fraction))
+            if phase.update_fraction > 0
+            else 0
+        )
+        query_templates_wanted = max(
+            1, phase.template_count - update_templates_wanted
+        )
+        queries: List[_QueryTemplate] = []
+        updates: List[_WriteTemplate] = []
+        attempts = 0
+        while len(queries) < query_templates_wanted and attempts < 200:
+            attempts += 1
+            dataset = rng.choices(datasets, weights=weights)[0]
+            template = self._make_query_template(rng, self._profile(dataset))
+            if template is not None:
+                queries.append(template)
+        attempts = 0
+        while len(updates) < update_templates_wanted and attempts < 200:
+            attempts += 1
+            dataset = rng.choices(datasets, weights=weights)[0]
+            template = self._make_write_template(rng, self._profile(dataset))
+            if template is not None:
+                updates.append(template)
+        return queries, updates
+
+    def generate(
+        self, phases: Sequence[PhaseSpec] = DEFAULT_PHASES
+    ) -> Workload:
+        """Generate the full workload for the given phase schedule."""
+        statements: List[Statement] = []
+        boundaries: List[Tuple[str, int]] = []
+        for phase_index, phase in enumerate(phases):
+            rng = random.Random(f"{self._seed}:{phase_index}:{phase.name}")
+            queries, updates = self._phase_templates(rng, phase)
+            if not queries and not updates:
+                raise RuntimeError(
+                    f"phase {phase.name!r}: no templates could be generated"
+                )
+            boundaries.append((phase.name, len(statements)))
+            for _ in range(phase.statement_count):
+                use_update = updates and rng.random() < phase.update_fraction
+                if use_update or not queries:
+                    template_u = rng.choice(updates)
+                    statements.append(self._instantiate_write(rng, template_u))
+                else:
+                    template_q = rng.choice(queries)
+                    statements.append(self._instantiate_query(rng, template_q))
+        return Workload(statements, boundaries)
+
+
+def generate_workload(
+    catalog: Catalog,
+    stats: StatsRepository,
+    phases: Sequence[PhaseSpec] = DEFAULT_PHASES,
+    seed: int = 42,
+) -> Workload:
+    """Convenience wrapper: build a generator and produce the workload."""
+    return WorkloadGenerator(catalog, stats, seed).generate(phases)

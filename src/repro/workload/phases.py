@@ -1,0 +1,91 @@
+"""Phase schedule of the online index-tuning benchmark (after [15]).
+
+The benchmark workload is "separated in eight consecutive phases. Each phase
+comprises 200 statements and favors statements on specific data sets ...
+Adjacent phases overlap in the focused data sets and also differ in the
+relative frequency of updates and queries." (§6.1)
+
+:data:`DEFAULT_PHASES` encodes that schedule: a rolling focus across the four
+datasets with overlapping adjacent phases and an alternating update mix,
+including the read-mostly opening stretch the paper points out in Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+__all__ = ["PhaseSpec", "DEFAULT_PHASES", "scaled_phases"]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One workload phase.
+
+    Attributes
+    ----------
+    name:
+        Display label.
+    dataset_weights:
+        Relative probability of drawing a statement from each dataset.
+    update_fraction:
+        Probability that a statement is an update (vs a query).
+    statement_count:
+        Number of statements in the phase.
+    template_count:
+        Number of distinct statement templates the phase draws from;
+        templates repeat with jittered literals, which is what lets index
+        benefits accumulate within a phase.
+    """
+
+    name: str
+    dataset_weights: Mapping[str, float]
+    update_fraction: float
+    statement_count: int = 200
+    template_count: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.dataset_weights:
+            raise ValueError("phase needs at least one dataset")
+        if any(w <= 0 for w in self.dataset_weights.values()):
+            raise ValueError("dataset weights must be positive")
+        if not 0.0 <= self.update_fraction <= 1.0:
+            raise ValueError("update_fraction must be in [0, 1]")
+        if self.statement_count < 1:
+            raise ValueError("statement_count must be >= 1")
+        if self.template_count < 1:
+            raise ValueError("template_count must be >= 1")
+
+    def with_statement_count(self, count: int) -> "PhaseSpec":
+        return PhaseSpec(
+            name=self.name,
+            dataset_weights=dict(self.dataset_weights),
+            update_fraction=self.update_fraction,
+            statement_count=count,
+            template_count=self.template_count,
+        )
+
+
+#: The paper's 8-phase schedule: rolling dataset focus with adjacent-phase
+#: overlap, mixed read/update intensity (read-mostly early, per Figure 12).
+DEFAULT_PHASES: Tuple[PhaseSpec, ...] = (
+    PhaseSpec("P1 tpch-heavy", {"tpch": 0.8, "tpce": 0.2}, update_fraction=0.05),
+    PhaseSpec("P2 tpch/tpce", {"tpch": 0.45, "tpce": 0.55}, update_fraction=0.10),
+    PhaseSpec("P3 tpce/tpcc", {"tpce": 0.7, "tpcc": 0.3}, update_fraction=0.30),
+    PhaseSpec("P4 tpcc-heavy", {"tpcc": 0.8, "tpce": 0.2}, update_fraction=0.40),
+    PhaseSpec("P5 tpcc/nref", {"tpcc": 0.5, "nref": 0.5}, update_fraction=0.25),
+    PhaseSpec("P6 nref-heavy", {"nref": 0.8, "tpcc": 0.2}, update_fraction=0.10),
+    PhaseSpec("P7 nref/tpch", {"nref": 0.45, "tpch": 0.55}, update_fraction=0.35),
+    PhaseSpec("P8 tpch mix", {"tpch": 0.7, "nref": 0.3}, update_fraction=0.20),
+)
+
+
+def scaled_phases(
+    statements_per_phase: int,
+    phases: Sequence[PhaseSpec] = DEFAULT_PHASES,
+) -> Tuple[PhaseSpec, ...]:
+    """The same schedule with a different per-phase statement count.
+
+    Used to run paper-shaped experiments at reduced scale (e.g. CI).
+    """
+    return tuple(p.with_statement_count(statements_per_phase) for p in phases)

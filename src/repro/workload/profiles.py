@@ -1,0 +1,153 @@
+"""Dataset profiles: what the workload generator knows about each dataset.
+
+A profile lists the join edges (foreign-key-shaped equi-join pairs) and
+classifies columns by how they may appear in generated statements:
+
+* ``range_columns`` — numeric/date columns with enough distinct values for
+  meaningful range predicates;
+* ``eq_columns`` — lower-cardinality columns suitable for equality;
+* ``set_columns`` — mutable measure columns an UPDATE may assign (never join
+  columns, mirroring how the benchmark's updates touch measures like
+  ``l_tax``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from ..db.schema import Catalog, ColumnType
+from ..db.stats import StatsRepository
+
+__all__ = ["JoinEdge", "DatasetProfile", "build_profile", "DATASET_JOINS"]
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-joinable column pair between two tables of one dataset."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+
+# Foreign-key-shaped join edges per dataset (tables unqualified here; the
+# profile qualifies them). These mirror the reference schemas in datagen.
+DATASET_JOINS: Mapping[str, Sequence[Tuple[str, str, str, str]]] = {
+    "tpcc": (
+        ("district", "d_w_id", "warehouse", "w_id"),
+        ("customer", "c_w_id", "warehouse", "w_id"),
+        ("orders", "o_c_id", "customer", "c_id"),
+        ("order_line", "ol_o_id", "orders", "o_id"),
+        ("order_line", "ol_i_id", "item", "i_id"),
+        ("stock", "s_i_id", "item", "i_id"),
+        ("new_order", "no_o_id", "orders", "o_id"),
+        ("history", "h_c_id", "customer", "c_id"),
+    ),
+    "tpch": (
+        ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ("lineitem", "l_partkey", "part", "p_partkey"),
+        ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+        ("orders", "o_custkey", "customer", "c_custkey"),
+        ("partsupp", "ps_partkey", "part", "p_partkey"),
+        ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        ("customer", "c_nationkey", "nation", "n_nationkey"),
+        ("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ("nation", "n_regionkey", "region", "r_regionkey"),
+    ),
+    "tpce": (
+        ("security", "s_co_id", "company", "co_id"),
+        ("daily_market", "dm_s_symb", "security", "s_symb"),
+        ("trade", "t_s_symb", "security", "s_symb"),
+        ("holding", "h_s_symb", "security", "s_symb"),
+        ("holding", "h_t_id", "trade", "t_id"),
+    ),
+    "nref": (
+        ("neighboring_seq", "protein_id", "protein", "protein_id"),
+        ("source", "protein_id", "protein", "protein_id"),
+        ("protein", "taxon_id", "taxonomy", "taxon_id"),
+        ("source", "organism_id", "taxonomy", "taxon_id"),
+    ),
+}
+
+#: Range predicates need at least this many distinct values to vary width.
+_MIN_RANGE_DISTINCT = 50
+#: Equality predicates target columns with cardinality in this band.
+_EQ_DISTINCT_BAND = (2, 20_000)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Generator-facing view of one dataset."""
+
+    dataset: str
+    tables: Tuple[str, ...]                      # qualified names
+    join_edges: Tuple[JoinEdge, ...]
+    range_columns: Mapping[str, Tuple[str, ...]]  # qualified table -> columns
+    eq_columns: Mapping[str, Tuple[str, ...]]
+    set_columns: Mapping[str, Tuple[str, ...]]
+
+    def neighbors(self, table: str) -> List[Tuple[str, JoinEdge]]:
+        """Tables joinable with ``table`` and the edge to use."""
+        out: List[Tuple[str, JoinEdge]] = []
+        for edge in self.join_edges:
+            if edge.left_table == table:
+                out.append((edge.right_table, edge))
+            elif edge.right_table == table:
+                out.append((edge.left_table, edge))
+        return out
+
+
+def build_profile(
+    dataset: str, catalog: Catalog, stats: StatsRepository
+) -> DatasetProfile:
+    """Derive a :class:`DatasetProfile` from the catalog and statistics."""
+    database = catalog.database(dataset)
+    tables = tuple(t.qualified_name for t in database.tables)
+
+    join_columns: Set[Tuple[str, str]] = set()
+    edges: List[JoinEdge] = []
+    for left, left_col, right, right_col in DATASET_JOINS.get(dataset, ()):
+        left_q = f"{dataset}.{left}"
+        right_q = f"{dataset}.{right}"
+        if not (catalog.has_table(left_q) and catalog.has_table(right_q)):
+            continue
+        edges.append(JoinEdge(left_q, left_col, right_q, right_col))
+        join_columns.add((left_q, left_col))
+        join_columns.add((right_q, right_col))
+
+    range_columns: Dict[str, Tuple[str, ...]] = {}
+    eq_columns: Dict[str, Tuple[str, ...]] = {}
+    set_columns: Dict[str, Tuple[str, ...]] = {}
+    for table in database.tables:
+        qualified = table.qualified_name
+        ranges: List[str] = []
+        eqs: List[str] = []
+        sets: List[str] = []
+        for column in table.columns:
+            col_stats = stats.column_stats(qualified, column.name)
+            is_join = (qualified, column.name) in join_columns
+            if column.ctype.is_numeric or column.ctype is ColumnType.DATE:
+                if col_stats.n_distinct >= _MIN_RANGE_DISTINCT:
+                    ranges.append(column.name)
+                if (
+                    not is_join
+                    and column.ctype in (ColumnType.FLOAT, ColumnType.DECIMAL)
+                ):
+                    sets.append(column.name)
+            lo, hi = _EQ_DISTINCT_BAND
+            if lo <= col_stats.n_distinct <= hi and not is_join:
+                eqs.append(column.name)
+        range_columns[qualified] = tuple(ranges)
+        eq_columns[qualified] = tuple(eqs)
+        set_columns[qualified] = tuple(sets)
+
+    return DatasetProfile(
+        dataset=dataset,
+        tables=tables,
+        join_edges=tuple(edges),
+        range_columns=range_columns,
+        eq_columns=eq_columns,
+        set_columns=set_columns,
+    )

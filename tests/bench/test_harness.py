@@ -1,0 +1,81 @@
+"""Tests for the experiment harness (context construction, figure drivers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    FigureResult,
+    figure11_lag,
+    figure8_baseline,
+    get_context,
+)
+from repro.bench.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def tiny_context() -> ExperimentContext:
+    """A deliberately tiny context so harness tests stay fast."""
+    return get_context(
+        per_phase=6, scale=0.02, seed=5, idx_cnt=10, state_counts=(64, 32)
+    )
+
+
+class TestContext:
+    def test_checkpoints_cover_phases(self, tiny_context):
+        assert tiny_context.checkpoints == tuple(6 * k for k in range(1, 9))
+
+    def test_partitions_for_each_state_count(self, tiny_context):
+        for state_cnt in (64, 32):
+            parts = tiny_context.partition_for(state_cnt)
+            assert sum(2 ** len(p) for p in parts) <= state_cnt
+
+    def test_reference_partition_is_largest(self, tiny_context):
+        assert tiny_context.fixed.partition == tiny_context.partition_for(64)
+
+    def test_context_cached(self):
+        first = get_context(per_phase=6, scale=0.02, seed=5, idx_cnt=10,
+                            state_counts=(64, 32))
+        second = get_context(per_phase=6, scale=0.02, seed=5, idx_cnt=10,
+                             state_counts=(64, 32))
+        assert first is second
+
+    def test_opt_prefix_values_at_checkpoints(self, tiny_context):
+        for n in tiny_context.checkpoints:
+            assert tiny_context.opt_schedule.optimum_at(n) > 0
+
+    def test_ratio_series(self, tiny_context):
+        n = len(tiny_context.statements)
+        fake_series = [float(i + 1) * 1000.0 for i in range(n)]
+        ratios = tiny_context.ratio_series(fake_series)
+        assert set(ratios) == set(tiny_context.checkpoints)
+
+
+class TestFigureResult:
+    def test_format_table(self):
+        result = FigureResult("Figure X", "demo")
+        result.add_curve("A", {10: 0.5, 20: 0.75})
+        result.add_curve("B", {10: 0.4, 20: 0.6})
+        text = result.format_table()
+        assert "Figure X" in text
+        assert "q=10" in text and "q=20" in text
+        assert "0.750" in text
+
+    def test_final_ratio(self):
+        result = FigureResult("f", "d")
+        result.add_curve("A", {10: 0.5, 20: 0.9})
+        assert result.final_ratio("A") == 0.9
+
+
+class TestFigureDrivers:
+    def test_figure8_curves_present(self, tiny_context):
+        result = figure8_baseline(tiny_context)
+        assert {"WFIT-64", "WFIT-32", "WFIT-IND", "BC"} <= set(result.curves)
+        for series in result.curves.values():
+            assert set(series) == set(tiny_context.checkpoints)
+            assert all(v > 0 for v in series.values())
+
+    def test_figure11_lag_labels(self, tiny_context):
+        result = figure11_lag(tiny_context, lags=(1, 6))
+        assert "WFIT" in result.curves
+        assert "LAG 6" in result.curves

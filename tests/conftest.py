@@ -1,0 +1,58 @@
+"""Shared fixtures and synthetic-instance helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    Index,
+    StatsRepository,
+    StatsTransitionCosts,
+    build_catalog,
+    build_toy_catalog,
+)
+from repro.optimizer import WhatIfOptimizer
+
+
+# ---------------------------------------------------------------------------
+# Catalog / optimizer fixtures (session-scoped: they are immutable).
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def toy_catalog():
+    return build_toy_catalog(rows=100_000)
+
+
+@pytest.fixture(scope="session")
+def toy_stats(toy_catalog) -> StatsRepository:
+    return toy_catalog[1]
+
+
+@pytest.fixture(scope="session")
+def bench_catalog():
+    return build_catalog(scale=0.02)
+
+
+@pytest.fixture(scope="session")
+def bench_stats(bench_catalog) -> StatsRepository:
+    return bench_catalog[1]
+
+
+@pytest.fixture()
+def toy_optimizer(toy_stats) -> WhatIfOptimizer:
+    return WhatIfOptimizer(toy_stats)
+
+
+@pytest.fixture()
+def bench_optimizer(bench_stats) -> WhatIfOptimizer:
+    return WhatIfOptimizer(bench_stats)
+
+
+@pytest.fixture()
+def toy_transitions(toy_stats) -> StatsTransitionCosts:
+    return StatsTransitionCosts(toy_stats)
+
+
+@pytest.fixture()
+def bench_transitions(bench_stats) -> StatsTransitionCosts:
+    return StatsTransitionCosts(bench_stats)

@@ -1,0 +1,148 @@
+"""Tests for the BC online tuner adaptation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bc import BC
+from repro.core.wfa import TransitionCosts
+from repro.db import Index
+
+from synth import make_indices
+
+
+class _TableStatement:
+    """Minimal statement stub exposing tables_referenced()."""
+
+    def __init__(self, *tables: str) -> None:
+        self._tables = tables
+        self.is_update = False
+
+    def tables_referenced(self):
+        return self._tables
+
+
+def single_index_world(benefit: float, create: float = 30.0, drop: float = 3.0):
+    a = make_indices(1)[0]
+    costs = {
+        frozenset(): 100.0,
+        frozenset({a}): 100.0 - benefit,
+    }
+    transitions = TransitionCosts(create={a: create}, drop={a: drop})
+    bc = BC({a}, frozenset(), lambda q, X: costs[frozenset(X)], transitions)
+    return a, bc
+
+
+class TestThresholds:
+    def test_creates_after_accumulated_benefit(self):
+        a, bc = single_index_world(benefit=10.0, create=30.0, drop=3.0)
+        stmt = _TableStatement("syn.t")
+        for _ in range(3):
+            assert a not in bc.recommend()
+            bc.analyze_statement(stmt)
+        # 4th statement pushes the accumulator past δ+ + δ- = 33.
+        bc.analyze_statement(stmt)
+        assert a in bc.recommend()
+
+    def test_never_creates_for_weak_benefit(self):
+        a, bc = single_index_world(benefit=0.0)
+        stmt = _TableStatement("syn.t")
+        for _ in range(50):
+            bc.analyze_statement(stmt)
+        assert a not in bc.recommend()
+
+    def test_drops_after_accumulated_penalty(self):
+        a = make_indices(1)[0]
+        costs = {frozenset(): 100.0, frozenset({a}): 112.0}  # maintenance
+        transitions = TransitionCosts(create={a: 30.0}, drop={a: 3.0})
+        bc = BC({a}, {a}, lambda q, X: costs[frozenset(X)], transitions)
+        stmt = _TableStatement("syn.t")
+        for _ in range(2):
+            bc.analyze_statement(stmt)
+            assert a in bc.recommend()  # -24 has not reached -33 yet
+        bc.analyze_statement(stmt)
+        assert a not in bc.recommend()
+
+    def test_benefit_pays_down_pain(self):
+        a = make_indices(1)[0]
+        costs = [
+            {frozenset(): 100.0, frozenset({a}): 112.0},  # pain 12
+            {frozenset(): 100.0, frozenset({a}): 80.0},   # benefit 20 -> reset
+            {frozenset(): 100.0, frozenset({a}): 112.0},  # pain 12 again
+        ]
+        transitions = TransitionCosts(create={a: 30.0}, drop={a: 3.0})
+        sequence = iter(costs + costs)
+        table = {}
+        def cost(q, X):
+            return table[frozenset(X)]
+        bc = BC({a}, {a}, cost, transitions)
+        stmt = _TableStatement("syn.t")
+        for step in costs:
+            table.clear()
+            table.update(step)
+            bc.analyze_statement(stmt)
+        # Pain never accumulated past the threshold thanks to the payback.
+        assert a in bc.recommend()
+
+    def test_threshold_factor(self):
+        a, bc_low = single_index_world(benefit=10.0)
+        transitions = TransitionCosts(create={a: 30.0}, drop={a: 3.0})
+        costs = {frozenset(): 100.0, frozenset({a}): 90.0}
+        bc_high = BC(
+            {a}, frozenset(), lambda q, X: costs[frozenset(X)],
+            transitions, threshold_factor=3.0,
+        )
+        stmt = _TableStatement("syn.t")
+        for _ in range(4):
+            bc_low.analyze_statement(stmt)
+            bc_high.analyze_statement(stmt)
+        assert a in bc_low.recommend()
+        assert a not in bc_high.recommend()
+
+
+class TestInteractionAdjustment:
+    def test_same_table_credit_is_split(self):
+        a, b = make_indices(2)
+        # Both indices individually halve the cost (mutually redundant).
+        costs = {
+            frozenset(): 100.0,
+            frozenset({a}): 50.0,
+            frozenset({b}): 50.0,
+            frozenset({a, b}): 50.0,
+        }
+        transitions = TransitionCosts(
+            create={a: 80.0, b: 80.0}, drop={a: 1.0, b: 1.0}
+        )
+        bc = BC({a, b}, frozenset(), lambda q, X: costs[frozenset(X)], transitions)
+        stmt = _TableStatement("syn.t")
+        bc.analyze_statement(stmt)
+        # Raw credit would be 50 each; split credit is 25 each.
+        assert bc._delta[a] == pytest.approx(25.0)
+        assert bc._delta[b] == pytest.approx(25.0)
+
+    def test_irrelevant_table_skipped(self):
+        a = make_indices(1)[0]
+        other = Index("other.t", ("x",))
+        costs = {frozenset(): 10.0}
+        transitions = TransitionCosts(default_create=5.0)
+        bc = BC(
+            {a, other}, frozenset(),
+            lambda q, X: 10.0, transitions,
+        )
+        stmt = _TableStatement("syn.t")
+        bc.analyze_statement(stmt)
+        assert bc._delta[other] == 0.0
+
+
+class TestValidation:
+    def test_initial_config_must_be_candidates(self):
+        a, b = make_indices(2)
+        with pytest.raises(ValueError):
+            BC({a}, {b}, lambda q, X: 0.0, TransitionCosts())
+
+    def test_statement_counter(self):
+        a, bc = single_index_world(benefit=1.0)
+        stmt = _TableStatement("syn.t")
+        bc.analyze_statement(stmt)
+        bc.analyze_statement(stmt)
+        assert bc.statements_analyzed == 2

@@ -1,0 +1,155 @@
+"""Tests for benefit/interaction statistics and topIndices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import IndexStatistics, RecencyStatistic, top_indices
+from repro.core.wfa import TransitionCosts
+
+from synth import make_indices
+
+
+class TestRecencyStatistic:
+    def test_empty_is_zero(self):
+        stat = RecencyStatistic(hist_size=5)
+        assert stat.current(10) == 0.0
+
+    def test_single_entry(self):
+        stat = RecencyStatistic(hist_size=5)
+        stat.record(10, 6.0)
+        # window = N - n + 1 = 10 - 10 + 1 = 1
+        assert stat.current(10) == pytest.approx(6.0)
+        # window grows as time passes without new benefit
+        assert stat.current(12) == pytest.approx(6.0 / 3)
+
+    def test_lru_k_max_over_windows(self):
+        stat = RecencyStatistic(hist_size=5)
+        stat.record(1, 10.0)
+        stat.record(10, 2.0)
+        # at N=10: window ℓ=1 → 2/1 = 2; window ℓ=2 → 12/10 = 1.2
+        assert stat.current(10) == pytest.approx(2.0)
+
+    def test_old_burst_can_dominate(self):
+        stat = RecencyStatistic(hist_size=5)
+        stat.record(8, 50.0)
+        stat.record(10, 1.0)
+        # ℓ=1 → 1.0; ℓ=2 → 51/3 = 17 → burst dominates
+        assert stat.current(10) == pytest.approx(51.0 / 3.0)
+
+    def test_hist_size_evicts_oldest(self):
+        stat = RecencyStatistic(hist_size=2)
+        stat.record(1, 100.0)
+        stat.record(2, 1.0)
+        stat.record(3, 1.0)
+        # the (1, 100) entry fell off: best window is (2+... ) at most
+        assert stat.current(3) == pytest.approx(1.0)
+
+    def test_non_positive_ignored(self):
+        stat = RecencyStatistic(hist_size=3)
+        stat.record(1, 0.0)
+        stat.record(2, -5.0)
+        assert len(stat) == 0
+
+    def test_out_of_order_rejected(self):
+        stat = RecencyStatistic(hist_size=3)
+        stat.record(5, 1.0)
+        with pytest.raises(ValueError):
+            stat.record(5, 1.0)
+
+    def test_future_entry_rejected(self):
+        stat = RecencyStatistic(hist_size=3)
+        stat.record(5, 1.0)
+        with pytest.raises(ValueError):
+            stat.current(3)
+
+    def test_invalid_hist_size(self):
+        with pytest.raises(ValueError):
+            RecencyStatistic(0)
+
+
+class TestIndexStatistics:
+    def test_benefit_roundtrip(self):
+        a, b = make_indices(2)
+        stats = IndexStatistics(hist_size=10)
+        stats.record_benefit(a, 1, 5.0)
+        assert stats.current_benefit(a, 1) == pytest.approx(5.0)
+        assert stats.current_benefit(b, 1) == 0.0
+
+    def test_interaction_symmetric_storage(self):
+        a, b = make_indices(2)
+        stats = IndexStatistics(hist_size=10)
+        stats.record_interaction(b, a, 3, 2.0)
+        assert stats.current_doi(a, b, 3) == pytest.approx(2.0)
+        assert stats.current_doi(b, a, 3) == pytest.approx(2.0)
+
+    def test_doi_lookup_binding(self):
+        a, b = make_indices(2)
+        stats = IndexStatistics(hist_size=10)
+        stats.record_interaction(a, b, 2, 4.0)
+        lookup = stats.doi_lookup(2)
+        assert lookup(a, b) == pytest.approx(4.0)
+
+    def test_tracked_indices(self):
+        a, b = make_indices(2)
+        stats = IndexStatistics()
+        stats.record_benefit(a, 1, 1.0)
+        assert stats.tracked_indices() == frozenset({a})
+
+
+class TestTopIndices:
+    def _stats_with(self, pairs, hist_size=10):
+        stats = IndexStatistics(hist_size=hist_size)
+        for index, benefit in pairs:
+            stats.record_benefit(index, 1, benefit)
+        return stats
+
+    def test_orders_by_benefit(self):
+        a, b, c = make_indices(3)
+        stats = self._stats_with([(a, 1.0), (b, 9.0), (c, 5.0)])
+        transitions = TransitionCosts(default_create=0.0)
+        top = top_indices({a, b, c}, 2, frozenset(), stats, 1, transitions)
+        assert top == [b, c]
+
+    def test_limit_zero(self):
+        a = make_indices(1)[0]
+        stats = self._stats_with([(a, 1.0)])
+        assert top_indices({a}, 0, frozenset(), stats, 1, TransitionCosts()) == []
+
+    def test_monitored_index_wins_ties(self):
+        a, b = make_indices(2)
+        stats = self._stats_with([(a, 5.0), (b, 5.0)])
+        transitions = TransitionCosts(default_create=10.0)
+        top = top_indices({a, b}, 1, frozenset({b}), stats, 1, transitions)
+        assert top == [b], "the unmonitored index pays the creation charge"
+
+    def test_amortized_creation_charge(self):
+        """The creation penalty is δ⁺/hist_size, not raw δ⁺ — a valuable
+        index must be able to displace a stale incumbent."""
+        stale, hot = make_indices(2)
+        stats = IndexStatistics(hist_size=100)
+        stats.record_benefit(stale, 1, 0.5)
+        stats.record_benefit(hot, 200, 400.0)
+        transitions = TransitionCosts(default_create=5000.0)
+        top = top_indices(
+            {stale, hot}, 1, frozenset({stale}), stats, 200, transitions
+        )
+        assert top == [hot]
+
+    def test_explicit_penalty_factor(self):
+        a, b = make_indices(2)
+        stats = self._stats_with([(a, 5.0), (b, 6.0)])
+        transitions = TransitionCosts(default_create=10.0)
+        # With the raw (factor=1) charge, b's benefit cannot pay for creation.
+        top = top_indices(
+            {a, b}, 1, frozenset({a}), stats, 1, transitions,
+            create_penalty_factor=1.0,
+        )
+        assert top == [a]
+
+    def test_deterministic_tiebreak(self):
+        a, b = make_indices(2)
+        stats = self._stats_with([(a, 5.0), (b, 5.0)])
+        transitions = TransitionCosts(default_create=0.0)
+        top = top_indices({a, b}, 1, frozenset(), stats, 1, transitions)
+        assert top == [min(a, b)]

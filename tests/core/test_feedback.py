@@ -1,0 +1,157 @@
+"""Tests for the feedback mechanism (§3.1 consistency, §5.1 recoverability)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.wfa import WFA, TransitionCosts
+from repro.core.wfa_plus import WFAPlus
+
+from synth import make_indices, make_synthetic_instance
+
+
+class TestConsistency:
+    """F+c ⊆ S and S ∩ F−c = ∅ immediately after feedback."""
+
+    def test_positive_vote_enters_recommendation(self):
+        rng = random.Random(31)
+        workload, transitions = make_synthetic_instance(rng, [2, 2], 6)
+        plus = WFAPlus(workload.partition, frozenset(), workload.cost, transitions)
+        for statement in workload.statements[:3]:
+            plus.analyze_statement(statement)
+        target = sorted(workload.indices)[0]
+        rec = plus.feedback({target}, frozenset())
+        assert target in rec
+
+    def test_negative_vote_leaves_recommendation(self):
+        rng = random.Random(32)
+        workload, transitions = make_synthetic_instance(rng, [2, 2], 6)
+        plus = WFAPlus(workload.partition, frozenset(), workload.cost, transitions)
+        for statement in workload.statements[:3]:
+            plus.analyze_statement(statement)
+        current = plus.recommend()
+        if not current:
+            current = plus.feedback(frozenset(workload.indices[:1]), frozenset())
+        victim = sorted(current)[0]
+        rec = plus.feedback(frozenset(), {victim})
+        assert victim not in rec
+
+    def test_simultaneous_votes(self):
+        a, b, c = make_indices(3)
+        transitions = TransitionCosts(default_create=10.0, default_drop=1.0)
+        plus = WFAPlus([{a}, {b}, {c}], frozenset(), lambda q, X: 1.0, transitions)
+        rec = plus.feedback({a, b}, {c})
+        assert a in rec and b in rec and c not in rec
+
+    def test_rejects_conflicting_votes(self):
+        a, b = make_indices(2)
+        plus = WFAPlus([{a}, {b}], frozenset(), lambda q, X: 1.0, TransitionCosts())
+        with pytest.raises(ValueError):
+            plus.feedback({a}, {a})
+
+    def test_votes_on_unknown_indices_are_ignored(self):
+        a, b = make_indices(2)
+        stranger = make_indices(3)[2]
+        plus = WFAPlus([{a}, {b}], frozenset(), lambda q, X: 1.0, TransitionCosts())
+        rec = plus.feedback({stranger}, frozenset())
+        assert stranger not in rec
+
+
+class TestScoreBound51:
+    """After feedback, score(S) − score(rec) ≥ δ(S, Scons) + δ(Scons, S)."""
+
+    def _check_bound(self, wfa: WFA, f_plus, f_minus) -> None:
+        wfa.apply_feedback(f_plus, f_minus)
+        rec = wfa.recommend()
+        scores = wfa.scores()
+        rec_score = scores[rec]
+        for subset, score in scores.items():
+            consistent = (subset - f_minus) | (f_plus & frozenset(wfa.indices))
+            bound = (
+                wfa._transitions.delta(subset, consistent)
+                + wfa._transitions.delta(consistent, subset)
+            )
+            assert score - rec_score >= bound - 1e-6, (
+                f"S={sorted(i.name for i in subset)}: "
+                f"score diff {score - rec_score} < bound {bound}"
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bound_after_positive_vote(self, seed):
+        rng = random.Random(seed)
+        workload, transitions = make_synthetic_instance(rng, [3], 8)
+        wfa = WFA(workload.indices, frozenset(), workload.cost, transitions)
+        for statement in workload.statements:
+            wfa.analyze_statement(statement)
+        self._check_bound(wfa, frozenset({workload.indices[0]}), frozenset())
+
+    @pytest.mark.parametrize("seed", range(6, 12))
+    def test_bound_after_mixed_votes(self, seed):
+        rng = random.Random(seed)
+        workload, transitions = make_synthetic_instance(rng, [3], 8)
+        wfa = WFA(workload.indices, frozenset(), workload.cost, transitions)
+        for statement in workload.statements:
+            wfa.analyze_statement(statement)
+        self._check_bound(
+            wfa,
+            frozenset({workload.indices[0]}),
+            frozenset({workload.indices[2]}),
+        )
+
+
+class TestRecoverability:
+    """The workload can override feedback (§5.1): bad votes are not final."""
+
+    def test_workload_overrides_bad_negative_vote(self):
+        a = make_indices(1)[0]
+        transitions = TransitionCosts(create={a: 10.0}, drop={a: 1.0})
+        # Every query strongly favors a.
+        wfa = WFA([a], frozenset(), lambda q, X: 0.0 if X else 30.0, transitions)
+        wfa.analyze_statement("q0")
+        assert wfa.recommend() == frozenset({a})
+        wfa.apply_feedback(frozenset(), {a})
+        assert wfa.recommend() == frozenset()  # consistency honored
+        recovered = False
+        for i in range(10):
+            rec = wfa.analyze_statement(f"q{i + 1}")
+            if a in rec:
+                recovered = True
+                break
+        assert recovered, "WFA never recovered from the bad negative vote"
+
+    def test_workload_overrides_bad_positive_vote(self):
+        a = make_indices(1)[0]
+        transitions = TransitionCosts(create={a: 10.0}, drop={a: 1.0})
+        # Every statement punishes a (update-heavy workload).
+        wfa = WFA([a], frozenset(), lambda q, X: 30.0 if X else 0.0, transitions)
+        wfa.analyze_statement("q0")
+        assert wfa.recommend() == frozenset()
+        wfa.apply_feedback({a}, frozenset())
+        assert wfa.recommend() == frozenset({a})  # consistency honored
+        recovered = False
+        for i in range(10):
+            rec = wfa.analyze_statement(f"q{i + 1}")
+            if a not in rec:
+                recovered = True
+                break
+        assert recovered, "WFA never recovered from the bad positive vote"
+
+    def test_feedback_is_idempotent_when_consistent(self):
+        """Votes matching the current recommendation change nothing — the
+        lease-renewal no-op that makes T=1 lag equal full autonomy."""
+        rng = random.Random(41)
+        workload, transitions = make_synthetic_instance(rng, [3], 8)
+        wfa = WFA(workload.indices, frozenset(), workload.cost, transitions)
+        for statement in workload.statements:
+            wfa.analyze_statement(statement)
+        rec = wfa.recommend()
+        before = wfa.work_function()
+        wfa.apply_feedback(rec, frozenset())
+        assert wfa.recommend() == rec
+        after = wfa.work_function()
+        for subset in before:
+            # Bound (5.1) already holds for WFA's own chosen recommendation,
+            # so re-affirming it must not disturb the work function.
+            assert after[subset] == pytest.approx(before[subset], abs=1e-6)

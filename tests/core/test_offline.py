@@ -1,0 +1,126 @@
+"""Tests for offline fixed-partition selection and OPT vote streams."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.offline import compute_fixed_partition
+from repro.core.opt import OfflineOptimizer
+from repro.db import StatsTransitionCosts
+from repro.optimizer import WhatIfOptimizer
+from repro.query import select, update
+
+from synth import make_synthetic_instance
+
+SALES = "shop.sales"
+
+
+@pytest.fixture()
+def small_setup(toy_stats):
+    optimizer = WhatIfOptimizer(toy_stats)
+    transitions = StatsTransitionCosts(toy_stats)
+    amount = toy_stats.column_stats(SALES, "amount")
+    date = toy_stats.column_stats(SALES, "sale_date")
+    statements = []
+    for i in range(6):
+        lo = amount.min_value + i * amount.domain_width * 0.02
+        statements.append(
+            select(SALES)
+            .where_between("amount", lo, lo + amount.domain_width * 0.02)
+            .count_star()
+            .build()
+        )
+        lo2 = date.min_value + i * date.domain_width * 0.02
+        statements.append(
+            select(SALES)
+            .where_between("sale_date", lo2, lo2 + date.domain_width * 0.02)
+            .count_star()
+            .build()
+        )
+    statements.append(
+        update(SALES)
+        .set("amount")
+        .where_between("sale_date", date.min_value, date.min_value + 20)
+        .build()
+    )
+    return optimizer, transitions, statements
+
+
+class TestComputeFixedPartition:
+    def test_universe_from_read_only_portion(self, small_setup):
+        optimizer, transitions, statements = small_setup
+        fixed = compute_fixed_partition(
+            statements, optimizer, transitions, idx_cnt=6, state_cnt=64
+        )
+        # The update's WHERE column index was also mined by the queries,
+        # but nothing should come exclusively from write statements.
+        assert fixed.universe
+        assert all(not ix.table.startswith("nonexistent") for ix in fixed.universe)
+
+    def test_budgets_respected(self, small_setup):
+        optimizer, transitions, statements = small_setup
+        fixed = compute_fixed_partition(
+            statements, optimizer, transitions, idx_cnt=4, state_cnt=32
+        )
+        assert len(fixed.candidates) <= 4
+        assert sum(2 ** len(p) for p in fixed.partition) <= 32
+
+    def test_singleton_partition_helper(self, small_setup):
+        optimizer, transitions, statements = small_setup
+        fixed = compute_fixed_partition(
+            statements, optimizer, transitions, idx_cnt=4, state_cnt=32
+        )
+        singles = fixed.singleton_partition()
+        assert len(singles) == len(fixed.candidates)
+        assert all(len(p) == 1 for p in singles)
+
+    def test_benefit_averages_exposed(self, small_setup):
+        optimizer, transitions, statements = small_setup
+        fixed = compute_fixed_partition(
+            statements, optimizer, transitions, idx_cnt=6, state_cnt=64
+        )
+        assert any(v > 0 for v in fixed.average_benefit.values())
+
+
+class TestSustainedEvents:
+    def _schedule(self, seed=51):
+        rng = random.Random(seed)
+        workload, transitions = make_synthetic_instance(rng, [2, 2], 20)
+        return OfflineOptimizer(
+            workload.partition, frozenset(), workload.cost, transitions
+        ).run(workload.statements)
+
+    def test_period_layout(self):
+        schedule = self._schedule()
+        events = schedule.sustained_events(period=5, good=True)
+        assert [e.position for e in events] == [4, 9, 14, 19]
+
+    def test_good_votes_match_schedule(self):
+        schedule = self._schedule()
+        for event in schedule.sustained_events(period=5, good=True):
+            config = schedule.schedule[event.position] & schedule.held_anywhere()
+            assert event.f_plus == config
+            assert event.f_minus == schedule.held_anywhere() - config
+
+    def test_bad_is_inverse_of_good(self):
+        schedule = self._schedule()
+        good = schedule.sustained_events(period=5, good=True)
+        bad = schedule.sustained_events(period=5, good=False)
+        for g, b in zip(good, bad):
+            assert g.position == b.position
+            assert g.f_plus == b.f_minus
+            assert g.f_minus == b.f_plus
+
+    def test_votes_restricted_to_scheduled_indices(self):
+        schedule = self._schedule()
+        universe = schedule.held_anywhere()
+        for event in schedule.sustained_events(period=7, good=False):
+            assert event.f_plus <= universe
+            assert event.f_minus <= universe
+
+    def test_invalid_period(self):
+        schedule = self._schedule()
+        with pytest.raises(ValueError):
+            schedule.sustained_events(period=0)

@@ -1,0 +1,131 @@
+"""Tests for choosePartition and partition losses."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.partitioning import (
+    MAX_PART_SIZE,
+    choose_partition,
+    pairwise_loss,
+    partition_loss,
+    state_count,
+)
+
+from synth import make_indices
+
+
+def doi_from(matrix):
+    def lookup(a, b):
+        key = (a, b) if a <= b else (b, a)
+        return matrix.get(key, 0.0)
+    return lookup
+
+
+class TestLosses:
+    def test_state_count(self):
+        a, b, c = make_indices(3)
+        assert state_count([{a, b}, {c}]) == 4 + 2
+
+    def test_pairwise_loss(self):
+        a, b, c = make_indices(3)
+        doi = doi_from({(a, c): 2.0, (b, c): 3.0})
+        assert pairwise_loss({a, b}, {c}, doi) == pytest.approx(5.0)
+
+    def test_partition_loss_counts_cross_part_only(self):
+        a, b, c = make_indices(3)
+        doi = doi_from({(a, b): 7.0, (a, c): 2.0})
+        # a,b in the same part: their interaction is captured, not lost.
+        assert partition_loss([{a, b}, {c}], doi) == pytest.approx(2.0)
+        assert partition_loss([{a, b, c}], doi) == 0.0
+
+
+class TestChoosePartition:
+    def test_empty_candidates(self):
+        assert choose_partition(
+            frozenset(), 100, [], doi_from({}), random.Random(0)
+        ) == []
+
+    def test_no_interactions_yields_singletons(self):
+        indices = make_indices(5)
+        parts = choose_partition(
+            frozenset(indices), 100, [], doi_from({}), random.Random(0)
+        )
+        assert sorted(map(sorted, parts)) == [[ix] for ix in indices]
+
+    def test_strong_pair_merged(self):
+        a, b, c = make_indices(3)
+        doi = doi_from({(a, b): 10.0})
+        parts = choose_partition(
+            frozenset({a, b, c}), 100, [], doi, random.Random(0)
+        )
+        by_index = {ix: part for part in parts for ix in part}
+        assert by_index[a] == by_index[b]
+        assert c not in by_index[a]
+
+    def test_partition_covers_exactly_candidates(self):
+        indices = make_indices(6)
+        doi = doi_from({(indices[0], indices[3]): 1.0, (indices[1], indices[4]): 2.0})
+        parts = choose_partition(
+            frozenset(indices), 64, [], doi, random.Random(1)
+        )
+        union = set().union(*parts)
+        assert union == set(indices)
+        assert sum(len(p) for p in parts) == len(indices)  # disjoint
+
+    def test_state_budget_respected(self):
+        indices = make_indices(8)
+        doi_matrix = {}
+        for i, a in enumerate(indices):
+            for b in indices[i + 1:]:
+                doi_matrix[(a, b)] = 1.0
+        parts = choose_partition(
+            frozenset(indices), 40, [], doi_from(doi_matrix), random.Random(2)
+        )
+        assert state_count(parts) <= 40
+
+    def test_infeasible_singletons_rejected(self):
+        indices = make_indices(6)
+        with pytest.raises(ValueError, match="stateCnt"):
+            choose_partition(frozenset(indices), 8, [], doi_from({}), random.Random(0))
+
+    def test_baseline_partition_considered(self):
+        """With zero rand iterations, the existing partition is kept when
+        feasible (Figure 7's baseline branch)."""
+        a, b, c = make_indices(3)
+        doi = doi_from({(a, b): 1.0})
+        parts = choose_partition(
+            frozenset({a, b, c}), 100, [frozenset({a, b}), frozenset({c})],
+            doi, random.Random(0), rand_cnt=0,
+        )
+        assert sorted(map(sorted, parts)) == [[a, b], [c]]
+
+    def test_new_index_gets_singleton_in_baseline(self):
+        a, b, c = make_indices(3)
+        parts = choose_partition(
+            frozenset({a, b, c}), 100, [frozenset({a, b})],
+            doi_from({}), random.Random(0), rand_cnt=0,
+        )
+        assert frozenset({c}) in parts
+
+    def test_max_part_size_enforced(self):
+        indices = make_indices(MAX_PART_SIZE + 2)
+        doi_matrix = {}
+        for i, a in enumerate(indices):
+            for b in indices[i + 1:]:
+                doi_matrix[(a, b)] = 5.0
+        parts = choose_partition(
+            frozenset(indices), 1 << 20, [], doi_from(doi_matrix), random.Random(3)
+        )
+        assert all(len(p) <= MAX_PART_SIZE for p in parts)
+
+    def test_lower_loss_preferred(self):
+        """The chooser finds the zero-loss clustering when it fits."""
+        a, b, c, d = make_indices(4)
+        doi = doi_from({(a, b): 3.0, (c, d): 4.0})
+        parts = choose_partition(
+            frozenset({a, b, c, d}), 100, [], doi, random.Random(4), rand_cnt=50
+        )
+        assert partition_loss(parts, doi) == 0.0

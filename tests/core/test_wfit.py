@@ -1,0 +1,217 @@
+"""Tests for WFIT: fixed/auto modes, repartitioning, candidate maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.wfit import WFIT
+from repro.db import Index, StatsTransitionCosts
+from repro.query import select, update
+
+SALES = "shop.sales"
+CUSTOMERS = "shop.customers"
+
+
+@pytest.fixture()
+def env(toy_optimizer, toy_stats):
+    return toy_optimizer, StatsTransitionCosts(toy_stats), toy_stats
+
+
+def narrow(stats, table, column, fraction=0.02, offset=0.0):
+    col = stats.column_stats(table, column)
+    lo = col.min_value + col.domain_width * offset
+    return lo, lo + col.domain_width * fraction
+
+
+class TestFixedMode:
+    def test_requires_initial_config_in_partition(self, env):
+        optimizer, transitions, _ = env
+        a = Index(SALES, ("amount",))
+        b = Index(SALES, ("sale_date",))
+        with pytest.raises(ValueError, match="outside fixed partition"):
+            WFIT(
+                optimizer, transitions,
+                initial_config={b},
+                fixed_partition=[{a}],
+            )
+
+    def test_fixed_mode_never_repartitions(self, env):
+        optimizer, transitions, stats = env
+        a = Index(SALES, ("amount",))
+        tuner = WFIT(optimizer, transitions, fixed_partition=[{a}])
+        lo, hi = narrow(stats, SALES, "amount")
+        query = select(SALES).where_between("amount", lo, hi).build()
+        for _ in range(5):
+            tuner.analyze_statement(query)
+        assert tuner.repartition_count == 0
+        assert tuner.partition == (frozenset({a}),)
+
+    def test_recommends_beneficial_index(self, env):
+        optimizer, transitions, stats = env
+        a = Index(SALES, ("amount",))
+        tuner = WFIT(optimizer, transitions, fixed_partition=[{a}])
+        lo, hi = narrow(stats, SALES, "amount")
+        query = select(SALES).where_between("amount", lo, hi).build()
+        for _ in range(60):
+            tuner.analyze_statement(query)
+        assert a in tuner.recommend()
+
+
+class TestAutoMode:
+    def test_universe_grows_with_statements(self, env):
+        optimizer, transitions, stats = env
+        tuner = WFIT(optimizer, transitions, idx_cnt=10, state_cnt=64)
+        lo, hi = narrow(stats, SALES, "amount")
+        tuner.analyze_statement(
+            select(SALES).where_between("amount", lo, hi).build()
+        )
+        assert Index(SALES, ("amount",)) in tuner.universe
+        lo2, hi2 = narrow(stats, CUSTOMERS, "lifetime_value")
+        tuner.analyze_statement(
+            select(CUSTOMERS).where_between("lifetime_value", lo2, hi2).build()
+        )
+        assert any(ix.table == CUSTOMERS for ix in tuner.universe)
+
+    def test_idx_cnt_bound_respected(self, env):
+        optimizer, transitions, stats = env
+        tuner = WFIT(optimizer, transitions, idx_cnt=3, state_cnt=64)
+        for column, table in (
+            ("amount", SALES), ("sale_date", SALES), ("product_id", SALES),
+            ("lifetime_value", CUSTOMERS), ("signup_date", CUSTOMERS),
+        ):
+            lo, hi = narrow(stats, table, column)
+            tuner.analyze_statement(
+                select(table).where_between(column, lo, hi).build()
+            )
+        assert len(tuner.candidates) <= 3
+
+    def test_state_cnt_bound_respected(self, env):
+        optimizer, transitions, stats = env
+        tuner = WFIT(optimizer, transitions, idx_cnt=12, state_cnt=40)
+        lo, hi = narrow(stats, SALES, "amount")
+        lo2, hi2 = narrow(stats, SALES, "sale_date")
+        query = (
+            select(SALES)
+            .where_between("amount", lo, hi)
+            .where_between("sale_date", lo2, hi2)
+            .build()
+        )
+        for _ in range(10):
+            tuner.analyze_statement(query)
+        assert tuner.tracked_states <= 40
+
+    def test_repartition_preserves_recommendation(self, env):
+        """Repartitioning must never silently change the recommendation."""
+        optimizer, transitions, stats = env
+        tuner = WFIT(optimizer, transitions, idx_cnt=10, state_cnt=128)
+        lo, hi = narrow(stats, SALES, "amount")
+        query = select(SALES).where_between("amount", lo, hi).build()
+        for _ in range(40):
+            before = tuner.recommend()
+            parts_before = tuner.partition
+            tuner.analyze_statement(query)
+            if tuner.partition != parts_before:
+                # the repartition itself kept currRec intact; any change
+                # came from the subsequent WFA analysis
+                assert tuner.recommend() >= before - tuner.candidates
+
+    def test_assume_independence_singletons(self, env):
+        optimizer, transitions, stats = env
+        tuner = WFIT(
+            optimizer, transitions, idx_cnt=8, state_cnt=64,
+            assume_independence=True,
+        )
+        lo, hi = narrow(stats, SALES, "amount")
+        lo2, hi2 = narrow(stats, SALES, "sale_date")
+        query = (
+            select(SALES)
+            .where_between("amount", lo, hi)
+            .where_between("sale_date", lo2, hi2)
+            .build()
+        )
+        for _ in range(5):
+            tuner.analyze_statement(query)
+        assert all(len(part) == 1 for part in tuner.partition)
+
+    def test_interacting_indices_grouped(self, env):
+        optimizer, transitions, stats = env
+        tuner = WFIT(
+            optimizer, transitions, idx_cnt=8, state_cnt=128,
+            partition_refresh_period=1,
+        )
+        lo, hi = narrow(stats, SALES, "amount", 0.05)
+        lo2, hi2 = narrow(stats, SALES, "sale_date", 0.05)
+        query = (
+            select(SALES)
+            .where_between("amount", lo, hi)
+            .where_between("sale_date", lo2, hi2)
+            .count_star()
+            .build()
+        )
+        for _ in range(5):
+            tuner.analyze_statement(query)
+        a = Index(SALES, ("amount",))
+        b = Index(SALES, ("sale_date",))
+        by_index = {ix: part for part in tuner.partition for ix in part}
+        if a in by_index and b in by_index:
+            assert by_index[a] == by_index[b], (
+                "intersecting indices interact and must share a part"
+            )
+
+    def test_materialized_indices_survive_candidate_churn(self, env):
+        optimizer, transitions, stats = env
+        tuner = WFIT(optimizer, transitions, idx_cnt=4, state_cnt=64)
+        lo, hi = narrow(stats, SALES, "amount")
+        query = select(SALES).where_between("amount", lo, hi).build()
+        for _ in range(60):
+            tuner.analyze_statement(query)
+        recommended = tuner.recommend()
+        assert recommended, "expected a materialized index by now"
+        # Flood with statements on other columns; the materialized index
+        # must stay monitored (M ⊆ D, Figure 6 line 4).
+        for offset in range(8):
+            lo2, hi2 = narrow(stats, CUSTOMERS, "lifetime_value", 0.02, offset * 0.1)
+            tuner.analyze_statement(
+                select(CUSTOMERS).where_between("lifetime_value", lo2, hi2).build()
+            )
+        assert recommended <= tuner.candidates
+
+    def test_feedback_on_unknown_index_lands_in_universe(self, env):
+        optimizer, transitions, _ = env
+        tuner = WFIT(optimizer, transitions, idx_cnt=8, state_cnt=64)
+        stranger = Index(SALES, ("product_id",))
+        tuner.feedback({stranger}, frozenset())
+        assert stranger in tuner.universe
+
+    def test_invalid_refresh_period(self, env):
+        optimizer, transitions, _ = env
+        with pytest.raises(ValueError):
+            WFIT(optimizer, transitions, partition_refresh_period=0)
+
+
+class TestWfitFeedback:
+    def test_consistency_and_recovery(self, env):
+        optimizer, transitions, stats = env
+        a = Index(SALES, ("amount",))
+        tuner = WFIT(optimizer, transitions, fixed_partition=[{a}])
+        lo, hi = narrow(stats, SALES, "amount")
+        query = select(SALES).where_between("amount", lo, hi).build()
+        for _ in range(60):
+            tuner.analyze_statement(query)
+        assert a in tuner.recommend()
+        # Negative vote is honored immediately...
+        assert a not in tuner.feedback(frozenset(), {a})
+        # ...but the workload eventually overrides it.
+        for _ in range(120):
+            tuner.analyze_statement(query)
+            if a in tuner.recommend():
+                break
+        assert a in tuner.recommend()
+
+    def test_notify_materialized_is_feedback(self, env):
+        optimizer, transitions, _ = env
+        a = Index(SALES, ("amount",))
+        b = Index(SALES, ("sale_date",))
+        tuner = WFIT(optimizer, transitions, fixed_partition=[{a}, {b}])
+        rec = tuner.notify_materialized(created={a}, dropped={b})
+        assert a in rec and b not in rec

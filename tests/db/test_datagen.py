@@ -1,0 +1,76 @@
+"""Tests for the synthetic benchmark catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import DATASET_NAMES, build_catalog, build_dataset, build_toy_catalog
+
+
+class TestBuildDataset:
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            build_dataset("mystery")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataset("tpch", scale=0)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_each_dataset_builds(self, name):
+        database, table_stats = build_dataset(name, scale=0.01)
+        assert database.name == name
+        assert len(database.tables) == len(table_stats)
+        for stats in table_stats:
+            assert stats.row_count >= 10
+
+    def test_scaling(self):
+        _, small = build_dataset("tpch", scale=0.01)
+        _, large = build_dataset("tpch", scale=0.1)
+        small_rows = {s.table.qualified_name: s.row_count for s in small}
+        for stats in large:
+            assert stats.row_count >= small_rows[stats.table.qualified_name]
+
+    def test_distinct_counts_bounded_by_rows(self):
+        _, table_stats = build_dataset("tpce", scale=0.05)
+        for stats in table_stats:
+            for column in stats.table.columns:
+                if stats.has_column_stats(column.name):
+                    assert stats.column_stats(column.name).n_distinct <= max(
+                        stats.row_count, 1
+                    )
+
+
+class TestBuildCatalog:
+    def test_full_catalog(self):
+        catalog, stats = build_catalog(scale=0.01)
+        assert {db.name for db in catalog.databases} == set(DATASET_NAMES)
+        for table in catalog.tables:
+            assert stats.has_table_stats(table.qualified_name)
+
+    def test_subset_of_datasets(self):
+        catalog, _ = build_catalog(scale=0.01, datasets=("tpch", "nref"))
+        assert {db.name for db in catalog.databases} == {"tpch", "nref"}
+
+    def test_reference_tables_exist(self):
+        catalog, stats = build_catalog(scale=0.01)
+        for name in (
+            "tpch.lineitem", "tpch.orders", "tpcc.order_line",
+            "tpce.daily_market", "tpce.security", "nref.protein",
+        ):
+            assert catalog.has_table(name)
+            assert stats.row_count(name) >= 10
+
+    def test_lineitem_is_biggest_tpch_table(self):
+        _, stats = build_catalog(scale=0.05, datasets=("tpch",))
+        lineitem = stats.row_count("tpch.lineitem")
+        for table in stats.catalog.database("tpch").tables:
+            assert stats.row_count(table.qualified_name) <= lineitem
+
+
+class TestToyCatalog:
+    def test_structure(self):
+        catalog, stats = build_toy_catalog(rows=5000)
+        assert catalog.has_table("shop.sales")
+        assert catalog.has_table("shop.customers")
+        assert stats.row_count("shop.sales") == 5000

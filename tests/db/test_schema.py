@@ -1,0 +1,110 @@
+"""Tests for schema objects (columns, tables, databases, catalog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import Catalog, Column, ColumnType, Database, SchemaError, Table
+
+
+class TestColumn:
+    def test_default_width_from_type(self):
+        assert Column("x", ColumnType.INT).byte_width == 4
+        assert Column("x", ColumnType.BIGINT).byte_width == 8
+        assert Column("x", ColumnType.TEXT).byte_width == 32
+
+    def test_width_override(self):
+        assert Column("x", ColumnType.TEXT, width=100).byte_width == 100
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("not a name")
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_numeric_classification(self):
+        assert ColumnType.INT.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.DATE.is_numeric
+        assert not ColumnType.CHAR.is_numeric
+
+
+class TestTable:
+    def test_requires_qualified_name(self):
+        with pytest.raises(SchemaError, match="qualified"):
+            Table("orders", [Column("a")])
+        with pytest.raises(SchemaError, match="qualified"):
+            Table("a.b.c", [Column("a")])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Table("db.t", [Column("a"), Column("a")])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError, match="no columns"):
+            Table("db.t", [])
+
+    def test_column_lookup(self):
+        table = Table("db.t", [Column("a"), Column("b")])
+        assert table.column("a").name == "a"
+        assert table.has_column("b")
+        assert not table.has_column("c")
+        with pytest.raises(SchemaError):
+            table.column("c")
+
+    def test_row_width_includes_header(self):
+        table = Table("db.t", [Column("a", ColumnType.INT)])
+        assert table.row_width == 24 + 4
+
+    def test_name_parts(self):
+        table = Table("tpch.lineitem", [Column("a")])
+        assert table.dataset == "tpch"
+        assert table.name == "lineitem"
+        assert table.column_names == ("a",)
+
+
+class TestDatabase:
+    def test_table_must_match_database(self):
+        db = Database("tpch")
+        with pytest.raises(SchemaError, match="belong"):
+            db.add_table(Table("tpcc.orders", [Column("a")]))
+
+    def test_duplicate_table_rejected(self):
+        db = Database("tpch")
+        db.add_table(Table("tpch.orders", [Column("a")]))
+        with pytest.raises(SchemaError, match="duplicate"):
+            db.add_table(Table("tpch.orders", [Column("a")]))
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Database("not a name")
+
+    def test_iteration(self):
+        db = Database("d", [Table("d.t1", [Column("a")]), Table("d.t2", [Column("a")])])
+        assert [t.name for t in db] == ["t1", "t2"]
+
+
+class TestCatalog:
+    def test_resolution(self):
+        catalog = Catalog([Database("d", [Table("d.t", [Column("a")])])])
+        assert catalog.table("d.t").name == "t"
+        assert catalog.has_table("d.t")
+        assert not catalog.has_table("d.missing")
+        assert not catalog.has_table("x.t")
+
+    def test_rejects_unqualified_lookup(self):
+        catalog = Catalog()
+        with pytest.raises(SchemaError):
+            catalog.table("justatable")
+
+    def test_duplicate_database_rejected(self):
+        catalog = Catalog([Database("d")])
+        with pytest.raises(SchemaError, match="duplicate"):
+            catalog.add_database(Database("d"))
+
+    def test_tables_spans_databases(self):
+        catalog = Catalog([
+            Database("a", [Table("a.t", [Column("x")])]),
+            Database("b", [Table("b.u", [Column("x")])]),
+        ])
+        assert {t.qualified_name for t in catalog.tables} == {"a.t", "b.u"}

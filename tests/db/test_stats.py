@@ -1,0 +1,139 @@
+"""Tests for catalog statistics and selectivity primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.schema import Catalog, Column, ColumnType, Database, SchemaError, Table
+from repro.db.stats import PAGE_SIZE, ColumnStats, StatsRepository, TableStats
+
+
+def make_table(rows: int = 1000) -> TableStats:
+    table = Table("d.t", [Column("a", ColumnType.INT), Column("b", ColumnType.FLOAT)])
+    return TableStats(table, rows, {
+        "a": ColumnStats(n_distinct=100, min_value=0, max_value=100),
+        "b": ColumnStats(n_distinct=500, min_value=0.0, max_value=1.0),
+    })
+
+
+class TestColumnStats:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColumnStats(n_distinct=0)
+        with pytest.raises(ValueError):
+            ColumnStats(n_distinct=10, min_value=5, max_value=1)
+        with pytest.raises(ValueError):
+            ColumnStats(n_distinct=10, null_frac=1.0)
+
+    def test_eq_selectivity(self):
+        stats = ColumnStats(n_distinct=100)
+        assert stats.eq_selectivity() == pytest.approx(0.01)
+
+    def test_eq_selectivity_with_nulls(self):
+        stats = ColumnStats(n_distinct=100, null_frac=0.5)
+        assert stats.eq_selectivity() == pytest.approx(0.005)
+
+    def test_range_selectivity_midrange(self):
+        stats = ColumnStats(n_distinct=1000, min_value=0, max_value=100)
+        assert stats.range_selectivity(0, 50) == pytest.approx(0.5)
+
+    def test_range_selectivity_open_bounds(self):
+        stats = ColumnStats(n_distinct=1000, min_value=0, max_value=100)
+        assert stats.range_selectivity(None, 25) == pytest.approx(0.25)
+        assert stats.range_selectivity(75, None) == pytest.approx(0.25)
+        assert stats.range_selectivity(None, None) == pytest.approx(1.0)
+
+    def test_range_selectivity_out_of_domain(self):
+        stats = ColumnStats(n_distinct=10, min_value=0, max_value=100)
+        assert stats.range_selectivity(200, 300) == 0.0
+
+    def test_range_selectivity_floor(self):
+        """A vanishing range still matches ~one distinct value."""
+        stats = ColumnStats(n_distinct=10, min_value=0, max_value=100)
+        assert stats.range_selectivity(50, 50) == pytest.approx(0.1)
+
+    def test_degenerate_domain(self):
+        stats = ColumnStats(n_distinct=1, min_value=5, max_value=5)
+        assert stats.range_selectivity(5, 5) == pytest.approx(1.0)
+
+    @given(
+        lo=st.floats(min_value=0, max_value=100, allow_nan=False),
+        width=st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_selectivity_always_in_unit_interval(self, lo, width):
+        stats = ColumnStats(n_distinct=50, min_value=0, max_value=100)
+        sel = stats.range_selectivity(lo, lo + width)
+        assert 0.0 <= sel <= 1.0
+
+    @given(
+        a=st.floats(min_value=0, max_value=50, allow_nan=False),
+        b=st.floats(min_value=50, max_value=100, allow_nan=False),
+        widen=st.floats(min_value=0, max_value=30, allow_nan=False),
+    )
+    def test_selectivity_monotone_in_range_width(self, a, b, widen):
+        stats = ColumnStats(n_distinct=1000, min_value=0, max_value=100)
+        narrow = stats.range_selectivity(a, b)
+        wide = stats.range_selectivity(max(0.0, a - widen), min(100.0, b + widen))
+        assert wide >= narrow - 1e-12
+
+
+class TestTableStats:
+    def test_page_count(self):
+        stats = make_table(rows=10_000)
+        expected_rows_per_page = PAGE_SIZE // stats.table.row_width
+        assert stats.rows_per_page == expected_rows_per_page
+        assert stats.page_count == -(-10_000 // expected_rows_per_page)
+
+    def test_rejects_zero_rows(self):
+        table = Table("d.t", [Column("a")])
+        with pytest.raises(ValueError):
+            TableStats(table, 0, {})
+
+    def test_unknown_column_stats_rejected(self):
+        table = Table("d.t", [Column("a")])
+        with pytest.raises(SchemaError):
+            TableStats(table, 10, {"zz": ColumnStats(n_distinct=5)})
+
+    def test_default_stats_for_uncovered_column(self):
+        table = Table("d.t", [Column("a"), Column("b")])
+        stats = TableStats(table, 1000, {"a": ColumnStats(n_distinct=5)})
+        assert stats.has_column_stats("a")
+        assert not stats.has_column_stats("b")
+        default = stats.column_stats("b")
+        assert default.n_distinct >= 2
+
+
+class TestStatsRepository:
+    def test_registration_and_lookup(self):
+        table = Table("d.t", [Column("a")])
+        catalog = Catalog([Database("d", [table])])
+        repo = StatsRepository(catalog)
+        repo.add_table_stats(TableStats(table, 500, {}))
+        assert repo.row_count("d.t") == 500
+        assert repo.page_count("d.t") >= 1
+        assert repo.has_table_stats("d.t")
+
+    def test_duplicate_rejected(self):
+        table = Table("d.t", [Column("a")])
+        catalog = Catalog([Database("d", [table])])
+        repo = StatsRepository(catalog)
+        repo.add_table_stats(TableStats(table, 500, {}))
+        with pytest.raises(SchemaError, match="duplicate"):
+            repo.add_table_stats(TableStats(table, 500, {}))
+
+    def test_stats_for_foreign_table_rejected(self):
+        table = Table("d.t", [Column("a")])
+        foreign = Table("x.t", [Column("a")])
+        catalog = Catalog([Database("d", [table])])
+        repo = StatsRepository(catalog)
+        with pytest.raises(SchemaError):
+            repo.add_table_stats(TableStats(foreign, 10, {}))
+
+    def test_missing_stats_raise(self):
+        table = Table("d.t", [Column("a")])
+        catalog = Catalog([Database("d", [table])])
+        repo = StatsRepository(catalog)
+        with pytest.raises(SchemaError, match="no statistics"):
+            repo.table_stats("d.t")

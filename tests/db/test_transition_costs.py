@@ -1,0 +1,79 @@
+"""Tests for δ: asymmetry, triangle inequality, decomposition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import Index, StatsTransitionCosts, build_toy_catalog
+
+
+@pytest.fixture(scope="module")
+def transitions():
+    _, stats = build_toy_catalog(rows=150_000)
+    return StatsTransitionCosts(stats)
+
+
+INDICES = [
+    Index("shop.sales", ("sale_id",)),
+    Index("shop.sales", ("amount",)),
+    Index("shop.sales", ("sale_date", "amount")),
+    Index("shop.customers", ("region",)),
+]
+
+
+class TestTransitionCosts:
+    def test_asymmetry(self, transitions):
+        """δ is not a metric: creating costs far more than dropping (§2)."""
+        for index in INDICES:
+            assert transitions.create_cost(index) > 10 * transitions.drop_cost(index)
+
+    def test_delta_decomposes(self, transitions):
+        a, b, c = INDICES[:3]
+        old = frozenset({a})
+        new = frozenset({b, c})
+        expected = (
+            transitions.create_cost(b)
+            + transitions.create_cost(c)
+            + transitions.drop_cost(a)
+        )
+        assert transitions.delta(old, new) == pytest.approx(expected)
+
+    def test_delta_identity(self, transitions):
+        config = frozenset(INDICES[:2])
+        assert transitions.delta(config, config) == 0.0
+
+    @given(
+        old_mask=st.integers(min_value=0, max_value=15),
+        mid_mask=st.integers(min_value=0, max_value=15),
+        new_mask=st.integers(min_value=0, max_value=15),
+    )
+    def test_triangle_inequality(self, transitions, old_mask, mid_mask, new_mask):
+        def config(mask):
+            return frozenset(ix for i, ix in enumerate(INDICES) if mask & (1 << i))
+        old, mid, new = config(old_mask), config(mid_mask), config(new_mask)
+        assert transitions.delta(old, new) <= (
+            transitions.delta(old, mid) + transitions.delta(mid, new) + 1e-9
+        )
+
+    def test_create_cost_scales_with_table(self):
+        _, small = build_toy_catalog(rows=10_000)
+        _, large = build_toy_catalog(rows=1_000_000)
+        index = Index("shop.sales", ("amount",))
+        assert (
+            StatsTransitionCosts(large).create_cost(index)
+            > 10 * StatsTransitionCosts(small).create_cost(index)
+        )
+
+    def test_round_trip(self, transitions):
+        a, b = INDICES[:2]
+        expected = (
+            transitions.create_cost(a) + transitions.drop_cost(a)
+            + transitions.create_cost(b) + transitions.drop_cost(b)
+        )
+        assert transitions.round_trip([a, b]) == pytest.approx(expected)
+
+    def test_create_cost_cached(self, transitions):
+        index = INDICES[0]
+        assert transitions.create_cost(index) == transitions.create_cost(index)

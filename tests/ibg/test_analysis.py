@@ -1,0 +1,137 @@
+"""Tests for IBG-based benefit and interaction analysis."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.db import Index
+from repro.ibg.analysis import (
+    degree_of_interaction,
+    interaction_pairs,
+    max_benefit,
+)
+from repro.ibg.graph import build_ibg
+from repro.optimizer import extract_indices
+from repro.query import select
+
+SALES = "shop.sales"
+CUSTOMERS = "shop.customers"
+
+
+@pytest.fixture()
+def two_range_ibg(toy_optimizer, toy_stats):
+    amount = toy_stats.column_stats(SALES, "amount")
+    date = toy_stats.column_stats(SALES, "sale_date")
+    query = (
+        select(SALES)
+        .where_between("amount", amount.min_value,
+                       amount.min_value + amount.domain_width * 0.05)
+        .where_between("sale_date", date.min_value,
+                       date.min_value + date.domain_width * 0.05)
+        .count_star()
+        .build()
+    )
+    candidates = extract_indices(query)
+    return build_ibg(toy_optimizer, query, candidates), query
+
+
+class TestMaxBenefit:
+    def test_nonnegative(self, two_range_ibg):
+        ibg, _ = two_range_ibg
+        for index in ibg.candidates:
+            assert max_benefit(ibg, index) >= 0.0
+
+    def test_matches_exhaustive_maximum(self, two_range_ibg, toy_optimizer):
+        ibg, query = two_range_ibg
+        ordered = sorted(ibg.candidates)
+        for index in ordered:
+            contexts = [
+                frozenset(c)
+                for r in range(len(ordered))
+                for c in itertools.combinations(
+                    [ix for ix in ordered if ix != index], r
+                )
+            ]
+            exhaustive = max(
+                toy_optimizer.cost(query, ctx)
+                - toy_optimizer.cost(query, ctx | {index})
+                for ctx in contexts
+            )
+            assert max_benefit(ibg, index) == pytest.approx(
+                max(exhaustive, 0.0), abs=1e-9
+            )
+
+    def test_foreign_index_zero(self, two_range_ibg):
+        ibg, _ = two_range_ibg
+        assert max_benefit(ibg, Index(CUSTOMERS, ("region",))) == 0.0
+
+
+class TestDegreeOfInteraction:
+    def test_symmetry(self, two_range_ibg):
+        ibg, _ = two_range_ibg
+        ordered = sorted(ibg.candidates)
+        for a, b in itertools.combinations(ordered, 2):
+            assert degree_of_interaction(ibg, a, b) == pytest.approx(
+                degree_of_interaction(ibg, b, a)
+            )
+
+    def test_self_interaction_rejected(self, two_range_ibg):
+        ibg, _ = two_range_ibg
+        index = sorted(ibg.candidates)[0]
+        with pytest.raises(ValueError):
+            degree_of_interaction(ibg, index, index)
+
+    def test_alternative_paths_interact(self, two_range_ibg):
+        """Two single-column indices competing/intersecting on the same
+        table must have doi > 0 (the paper's canonical example)."""
+        ibg, _ = two_range_ibg
+        a = Index(SALES, ("amount",))
+        b = Index(SALES, ("sale_date",))
+        assert degree_of_interaction(ibg, a, b) > 0.0
+
+    def test_matches_exhaustive_definition(self, two_range_ibg, toy_optimizer):
+        ibg, query = two_range_ibg
+        ordered = sorted(ibg.candidates)
+        a, b = ordered[0], ordered[1]
+        rest = [ix for ix in ordered if ix not in (a, b)]
+        worst = 0.0
+        for r in range(len(rest) + 1):
+            for combo in itertools.combinations(rest, r):
+                ctx = frozenset(combo)
+                ben = toy_optimizer.cost(query, ctx) - toy_optimizer.cost(
+                    query, ctx | {a}
+                )
+                ben_b = toy_optimizer.cost(query, ctx | {b}) - toy_optimizer.cost(
+                    query, ctx | {a, b}
+                )
+                worst = max(worst, abs(ben - ben_b))
+        assert degree_of_interaction(ibg, a, b) == pytest.approx(worst, abs=1e-9)
+
+    def test_cross_table_zero(self, toy_optimizer, toy_stats):
+        amount = toy_stats.column_stats(SALES, "amount")
+        query = (
+            select(SALES)
+            .join(CUSTOMERS, on=("customer_id", "customer_id"))
+            .where_between("amount", amount.min_value,
+                           amount.min_value + amount.domain_width * 0.03,
+                           table=SALES)
+            .where_eq("region", 5, table=CUSTOMERS)
+            .build()
+        )
+        candidates = extract_indices(query)
+        ibg = build_ibg(toy_optimizer, query, candidates)
+        a = Index(SALES, ("amount",))
+        b = Index(CUSTOMERS, ("region",))
+        assert degree_of_interaction(ibg, a, b) == 0.0
+
+
+class TestInteractionPairs:
+    def test_only_positive_pairs_reported(self, two_range_ibg):
+        ibg, _ = two_range_ibg
+        pairs = interaction_pairs(ibg, ibg.candidates)
+        for (a, b), doi in pairs.items():
+            assert doi > 0
+            assert a <= b
+            assert a.table == b.table

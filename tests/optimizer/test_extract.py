@@ -1,0 +1,98 @@
+"""Tests for candidate index extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Index
+from repro.optimizer.extract import MAX_COMPOSITE_WIDTH, extract_indices
+from repro.query import delete, select, update
+from repro.query.ast import InsertStatement
+
+SALES = "shop.sales"
+CUSTOMERS = "shop.customers"
+
+
+class TestSelectExtraction:
+    def test_single_column_candidates(self):
+        query = select(SALES).where_between("amount", 0, 10).count_star().build()
+        candidates = extract_indices(query)
+        assert Index(SALES, ("amount",)) in candidates
+
+    def test_join_columns_extracted(self):
+        query = (
+            select(SALES)
+            .join(CUSTOMERS, on=("customer_id", "customer_id"))
+            .where_between("amount", 0, 10, table=SALES)
+            .build()
+        )
+        candidates = extract_indices(query)
+        assert Index(SALES, ("customer_id",)) in candidates
+        assert Index(CUSTOMERS, ("customer_id",)) in candidates
+
+    def test_eq_then_range_composite(self):
+        query = (
+            select(SALES)
+            .where_eq("product_id", 3)
+            .where_between("amount", 0, 10)
+            .build()
+        )
+        candidates = extract_indices(query)
+        assert Index(SALES, ("product_id", "amount")) in candidates
+
+    def test_covering_composite_for_count_star(self):
+        query = (
+            select(SALES)
+            .where_between("amount", 0, 10)
+            .where_between("sale_date", 0, 10)
+            .count_star()
+            .build()
+        )
+        candidates = extract_indices(query)
+        covering = [
+            ix for ix in candidates
+            if set(ix.columns) == {"amount", "sale_date"}
+        ]
+        assert covering, "expected a covering composite"
+
+    def test_order_by_columns_extracted(self):
+        query = (
+            select(SALES)
+            .where_ge("amount", 5)
+            .order_by("sale_date")
+            .build()
+        )
+        assert Index(SALES, ("sale_date",)) in extract_indices(query)
+
+    def test_width_bounded(self):
+        query = (
+            select(SALES)
+            .where_eq("product_id", 1)
+            .where_eq("customer_id", 2)
+            .where_between("amount", 0, 10)
+            .where_between("sale_date", 0, 10)
+            .build()
+        )
+        for index in extract_indices(query):
+            assert len(index.columns) <= MAX_COMPOSITE_WIDTH
+
+
+class TestWriteExtraction:
+    def test_update_extracts_where_not_set(self):
+        stmt = (
+            update(SALES).set("amount").where_between("sale_date", 0, 10).build()
+        )
+        candidates = extract_indices(stmt)
+        assert Index(SALES, ("sale_date",)) in candidates
+        assert Index(SALES, ("amount",)) not in candidates
+
+    def test_delete_extracts_where(self):
+        stmt = delete(SALES).where_between("sale_date", 0, 10).build()
+        assert Index(SALES, ("sale_date",)) in extract_indices(stmt)
+
+    def test_insert_extracts_nothing(self):
+        assert extract_indices(InsertStatement(SALES, 100)) == frozenset()
+
+    def test_update_on_set_column_only_yields_nothing(self):
+        stmt = update(SALES).set("amount").where_between("amount", 0, 10).build()
+        assert extract_indices(stmt) == frozenset()

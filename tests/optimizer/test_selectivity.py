@@ -1,0 +1,75 @@
+"""Tests for selectivity estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.selectivity import (
+    combined_selectivity,
+    join_selectivity,
+    predicate_selectivity,
+    selectivity_by_column,
+)
+from repro.query.ast import ColumnRef, EqualityPredicate, RangePredicate
+
+SALES = "shop.sales"
+
+
+class TestPredicateSelectivity:
+    def test_equality(self, toy_stats):
+        pred = EqualityPredicate(ColumnRef(SALES, "product_id"), 5)
+        expected = 1.0 / toy_stats.column_stats(SALES, "product_id").n_distinct
+        assert predicate_selectivity(toy_stats, pred) == pytest.approx(expected)
+
+    def test_range(self, toy_stats):
+        col = toy_stats.column_stats(SALES, "amount")
+        width = (col.max_value - col.min_value) * 0.25
+        pred = RangePredicate(
+            ColumnRef(SALES, "amount"), lo=col.min_value, hi=col.min_value + width
+        )
+        assert predicate_selectivity(toy_stats, pred) == pytest.approx(0.25, rel=0.01)
+
+    def test_combined_independence(self, toy_stats):
+        p1 = EqualityPredicate(ColumnRef(SALES, "product_id"), 1)
+        p2 = RangePredicate(ColumnRef(SALES, "amount"), lo=0, hi=5000)
+        combined = combined_selectivity(toy_stats, [p1, p2])
+        assert combined == pytest.approx(
+            predicate_selectivity(toy_stats, p1)
+            * predicate_selectivity(toy_stats, p2)
+        )
+
+    def test_empty_conjunction(self, toy_stats):
+        assert combined_selectivity(toy_stats, []) == 1.0
+
+
+class TestSelectivityByColumn:
+    def test_same_column_predicates_multiply(self, toy_stats):
+        preds = [
+            RangePredicate(ColumnRef(SALES, "amount"), lo=0, hi=5000),
+            RangePredicate(ColumnRef(SALES, "amount"), lo=2500, hi=10_000),
+        ]
+        sels = selectivity_by_column(toy_stats, preds)
+        sel, is_eq = sels["amount"]
+        # Per-column selectivities multiply (0.5 * 0.75), they are not
+        # interval-intersected — the standard independence treatment.
+        assert sel == pytest.approx(0.5 * 0.75, rel=0.01)
+        assert not is_eq
+
+    def test_equality_flag(self, toy_stats):
+        sels = selectivity_by_column(
+            toy_stats, [EqualityPredicate(ColumnRef(SALES, "product_id"), 1)]
+        )
+        _, is_eq = sels["product_id"]
+        assert is_eq
+
+
+class TestJoinSelectivity:
+    def test_uses_larger_ndv(self, toy_stats):
+        sel = join_selectivity(
+            toy_stats, SALES, "customer_id", "shop.customers", "customer_id"
+        )
+        ndv = max(
+            toy_stats.column_stats(SALES, "customer_id").n_distinct,
+            toy_stats.column_stats("shop.customers", "customer_id").n_distinct,
+        )
+        assert sel == pytest.approx(1.0 / ndv)

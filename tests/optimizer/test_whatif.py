@@ -1,0 +1,100 @@
+"""Tests for the memoizing what-if optimizer facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Index
+from repro.optimizer import WhatIfOptimizer
+from repro.query import select, update
+
+SALES = "shop.sales"
+CUSTOMERS = "shop.customers"
+
+
+@pytest.fixture()
+def query():
+    return (
+        select(SALES).where_between("amount", 0, 150).count_star().build()
+    )
+
+
+class TestCaching:
+    def test_repeat_call_hits_cache(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        config = frozenset({Index(SALES, ("amount",))})
+        first = optimizer.cost(query, config)
+        second = optimizer.cost(query, config)
+        assert first == second
+        assert optimizer.whatif_calls == 2
+        assert optimizer.optimizations == 1
+
+    def test_irrelevant_indices_share_cache_entry(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        config_a = frozenset({Index(CUSTOMERS, ("region",))})
+        config_b = frozenset({Index(CUSTOMERS, ("signup_date",))})
+        optimizer.cost(query, config_a)
+        optimizer.cost(query, config_b)
+        # Both reduce to the empty relevant subset.
+        assert optimizer.optimizations == 1
+
+    def test_reset_and_clear(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        optimizer.cost(query, frozenset())
+        optimizer.reset_counters()
+        assert optimizer.whatif_calls == 0
+        assert optimizer.optimizations == 0
+        optimizer.clear_cache()
+        optimizer.cost(query, frozenset())
+        assert optimizer.optimizations == 1
+
+
+class TestUsedSets:
+    def test_used_contains_access_index(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        index = Index(SALES, ("amount",))
+        _, used = optimizer.optimize(query, frozenset({index}))
+        assert index in used
+
+    def test_unused_index_not_in_used(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        useless = Index(SALES, ("sale_date",))
+        _, used = optimizer.optimize(query, frozenset({useless}))
+        assert useless not in used
+
+    def test_maintenance_index_counts_as_used(self, toy_stats):
+        optimizer = WhatIfOptimizer(toy_stats)
+        col = toy_stats.column_stats(SALES, "sale_date")
+        stmt = (
+            update(SALES)
+            .set("amount")
+            .where_between("sale_date", col.min_value, col.min_value + 30)
+            .build()
+        )
+        index = Index(SALES, ("amount",))
+        _, used = optimizer.optimize(stmt, frozenset({index}))
+        assert index in used
+
+
+class TestBenefit:
+    def test_positive_for_useful_index(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        index = Index(SALES, ("amount",))
+        assert optimizer.benefit(query, {index}, frozenset()) > 0
+
+    def test_negative_for_update_maintenance(self, toy_stats):
+        optimizer = WhatIfOptimizer(toy_stats)
+        col = toy_stats.column_stats(SALES, "sale_date")
+        stmt = (
+            update(SALES)
+            .set("amount")
+            .where_between("sale_date", col.min_value, col.min_value + 100)
+            .build()
+        )
+        index = Index(SALES, ("amount",))
+        assert optimizer.benefit(stmt, {index}, frozenset()) < 0
+
+    def test_explain_does_not_pollute_counters(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        optimizer.explain(query, frozenset())
+        assert optimizer.whatif_calls == 0

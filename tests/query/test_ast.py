@@ -1,0 +1,147 @@
+"""Tests for the statement AST invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.ast import (
+    ColumnRef,
+    DeleteStatement,
+    EqualityPredicate,
+    InsertStatement,
+    JoinPredicate,
+    OrderBy,
+    RangePredicate,
+    SelectQuery,
+    UpdateStatement,
+)
+
+L = "tpch.lineitem"
+O = "tpch.orders"
+
+
+class TestPredicates:
+    def test_range_needs_a_bound(self):
+        with pytest.raises(ValueError):
+            RangePredicate(ColumnRef(L, "l_tax"))
+
+    def test_range_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            RangePredicate(ColumnRef(L, "l_tax"), lo=5, hi=1)
+
+    def test_range_table_property(self):
+        pred = RangePredicate(ColumnRef(L, "l_tax"), lo=0)
+        assert pred.table == L
+
+    def test_join_must_span_tables(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(ColumnRef(L, "a"), ColumnRef(L, "b"))
+
+    def test_join_column_on(self):
+        join = JoinPredicate(ColumnRef(L, "l_orderkey"), ColumnRef(O, "o_orderkey"))
+        assert join.column_on(L).column == "l_orderkey"
+        assert join.column_on(O).column == "o_orderkey"
+        assert join.touches(L) and join.touches(O)
+        with pytest.raises(ValueError):
+            join.column_on("tpch.part")
+
+    def test_order_by_single_table(self):
+        with pytest.raises(ValueError):
+            OrderBy((ColumnRef(L, "a"), ColumnRef(O, "b")))
+        with pytest.raises(ValueError):
+            OrderBy(())
+
+
+class TestSelectQuery:
+    def test_requires_tables(self):
+        with pytest.raises(ValueError):
+            SelectQuery(tables=())
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(ValueError):
+            SelectQuery(tables=(L, L))
+
+    def test_rejects_predicate_on_foreign_table(self):
+        with pytest.raises(ValueError):
+            SelectQuery(
+                tables=(L,),
+                predicates=(EqualityPredicate(ColumnRef(O, "o_orderkey"), 1),),
+            )
+
+    def test_rejects_join_on_unreferenced_table(self):
+        with pytest.raises(ValueError):
+            SelectQuery(
+                tables=(L,),
+                joins=(JoinPredicate(
+                    ColumnRef(L, "l_orderkey"), ColumnRef(O, "o_orderkey")
+                ),),
+            )
+
+    def test_columns_needed_gathers_everything(self):
+        query = SelectQuery(
+            tables=(L, O),
+            predicates=(RangePredicate(ColumnRef(L, "l_shipdate"), lo=0, hi=10),),
+            joins=(JoinPredicate(
+                ColumnRef(L, "l_orderkey"), ColumnRef(O, "o_orderkey")
+            ),),
+            projection=(ColumnRef(L, "l_tax"),),
+        )
+        assert query.columns_needed(L) == {"l_shipdate", "l_orderkey", "l_tax"}
+        assert query.columns_needed(O) == {"o_orderkey"}
+
+    def test_predicates_on_filters_by_table(self):
+        pred_l = RangePredicate(ColumnRef(L, "l_tax"), lo=0)
+        pred_o = EqualityPredicate(ColumnRef(O, "o_orderstatus"), "F")
+        query = SelectQuery(tables=(L, O), predicates=(pred_l, pred_o))
+        assert query.predicates_on(L) == (pred_l,)
+        assert query.predicates_on(O) == (pred_o,)
+
+    def test_is_update_false(self):
+        assert not SelectQuery(tables=(L,)).is_update
+
+    def test_hashable(self):
+        q1 = SelectQuery(tables=(L,))
+        q2 = SelectQuery(tables=(L,))
+        assert hash(q1) == hash(q2)
+        assert q1 == q2
+
+
+class TestWriteStatements:
+    def test_update_requires_set_columns(self):
+        with pytest.raises(ValueError):
+            UpdateStatement(L, ())
+
+    def test_update_predicates_same_table(self):
+        with pytest.raises(ValueError):
+            UpdateStatement(
+                L, ("l_tax",),
+                predicates=(RangePredicate(ColumnRef(O, "o_totalprice"), lo=0),),
+            )
+
+    def test_update_columns_needed(self):
+        stmt = UpdateStatement(
+            L, ("l_tax",),
+            predicates=(RangePredicate(ColumnRef(L, "l_extendedprice"), lo=0),),
+        )
+        assert stmt.columns_needed(L) == {"l_tax", "l_extendedprice"}
+        assert stmt.columns_needed(O) == frozenset()
+        assert stmt.is_update
+
+    def test_insert_row_count(self):
+        with pytest.raises(ValueError):
+            InsertStatement(L, row_count=0)
+        stmt = InsertStatement(L, row_count=5)
+        assert stmt.is_update
+        assert stmt.tables_referenced() == (L,)
+        assert stmt.predicates_on(L) == ()
+
+    def test_delete(self):
+        stmt = DeleteStatement(
+            L, predicates=(RangePredicate(ColumnRef(L, "l_tax"), hi=1),)
+        )
+        assert stmt.is_update
+        assert stmt.columns_needed(L) == {"l_tax"}
+        with pytest.raises(ValueError):
+            DeleteStatement(
+                L, predicates=(RangePredicate(ColumnRef(O, "o_totalprice"), lo=0),)
+            )

@@ -1,0 +1,89 @@
+"""Tests for the fluent statement builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import delete, select, update
+from repro.query.ast import EqualityPredicate, RangePredicate
+
+
+class TestSelectBuilder:
+    def test_single_table_count_star(self):
+        query = (
+            select("tpch.lineitem")
+            .where_between("l_shipdate", 100, 200)
+            .count_star()
+            .build()
+        )
+        assert query.tables == ("tpch.lineitem",)
+        assert not query.projection
+        pred = query.predicates[0]
+        assert isinstance(pred, RangePredicate)
+        assert (pred.lo, pred.hi) == (100, 200)
+
+    def test_join_chain(self):
+        query = (
+            select("tpch.lineitem")
+            .join("tpch.orders", on=("l_orderkey", "o_orderkey"))
+            .where_between("l_tax", 0, 0.1, table="tpch.lineitem")
+            .build()
+        )
+        assert query.tables == ("tpch.lineitem", "tpch.orders")
+        assert len(query.joins) == 1
+        join = query.joins[0]
+        assert join.left.column == "l_orderkey"
+        assert join.right.column == "o_orderkey"
+
+    def test_ambiguous_column_needs_table(self):
+        builder = select("tpch.lineitem").join(
+            "tpch.orders", on=("l_orderkey", "o_orderkey")
+        )
+        with pytest.raises(ValueError, match="ambiguous"):
+            builder.where_eq("l_tax", 1)
+
+    def test_one_sided_ranges(self):
+        query = (
+            select("tpch.lineitem").where_ge("l_tax", 0.01).where_le("l_quantity", 10).build()
+        )
+        lo_pred, hi_pred = query.predicates
+        assert lo_pred.lo == 0.01 and lo_pred.hi is None
+        assert hi_pred.hi == 10 and hi_pred.lo is None
+
+    def test_projection_and_order_by(self):
+        query = (
+            select("tpch.lineitem")
+            .project("l_tax")
+            .order_by("l_shipdate")
+            .where_ge("l_tax", 0)
+            .build()
+        )
+        assert query.projection[0].column == "l_tax"
+        assert query.order_by.columns[0].column == "l_shipdate"
+
+    def test_where_eq(self):
+        query = select("tpch.orders").where_eq("o_orderstatus", "F").build()
+        pred = query.predicates[0]
+        assert isinstance(pred, EqualityPredicate)
+        assert pred.value == "F"
+
+
+class TestUpdateDeleteBuilders:
+    def test_update(self):
+        stmt = (
+            update("tpch.lineitem")
+            .set("l_tax")
+            .where_between("l_extendedprice", 100, 200)
+            .build()
+        )
+        assert stmt.set_columns == ("l_tax",)
+        assert stmt.predicates[0].lo == 100
+
+    def test_update_multiple_sets(self):
+        stmt = update("tpch.lineitem").set("l_tax", "l_discount").build()
+        assert stmt.set_columns == ("l_tax", "l_discount")
+
+    def test_delete(self):
+        stmt = delete("tpch.lineitem").where_eq("l_linenumber", 3).build()
+        assert stmt.table == "tpch.lineitem"
+        assert isinstance(stmt.predicates[0], EqualityPredicate)

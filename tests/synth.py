@@ -1,0 +1,88 @@
+"""Synthetic task-system instances for algorithm tests.
+
+Costs are decomposed per part (Eq. 2.1 holds by construction) and drawn as
+integers so float arithmetic is exact and tie-breaking is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.wfa import TransitionCosts
+from repro.db import Index
+
+def make_indices(count: int, table: str = "syn.t") -> List[Index]:
+    """``count`` synthetic indices on one table, naturally ordered."""
+    return [Index(table, (f"c{i:02d}",)) for i in range(count)]
+
+
+class SyntheticWorkload:
+    """A synthetic stable-cost instance.
+
+    ``cost(q, X) = base + Σ_parts f_p(X ∩ p)`` with integer-valued part
+    functions ``f_p`` (0 on the empty set), so the instance is stable with
+    respect to ``partition`` by construction.
+    """
+
+    def __init__(
+        self,
+        partition: Sequence[FrozenSet[Index]],
+        statements: Sequence[str],
+        part_costs: Dict[str, List[Dict[FrozenSet[Index], float]]],
+        base_cost: float,
+    ) -> None:
+        self.partition = [frozenset(p) for p in partition]
+        self.statements = list(statements)
+        self._part_costs = part_costs
+        self.base_cost = base_cost
+        self.indices = sorted(set().union(*self.partition))
+
+    def cost(self, statement: str, config) -> float:
+        total = self.base_cost
+        config_set = frozenset(config)
+        for part, table in zip(self.partition, self._part_costs[statement]):
+            total += table[config_set & part]
+        return total
+
+
+def make_synthetic_instance(
+    rng: random.Random,
+    part_sizes: Sequence[int],
+    n_statements: int,
+    max_cost: int = 40,
+    max_create: int = 60,
+) -> Tuple[SyntheticWorkload, TransitionCosts]:
+    """Random stable instance with integer costs and asymmetric δ."""
+    indices: List[Index] = []
+    partition: List[FrozenSet[Index]] = []
+    offset = 0
+    for size in part_sizes:
+        part = [Index("syn.t", (f"c{offset + i:02d}",)) for i in range(size)]
+        offset += size
+        partition.append(frozenset(part))
+        indices.extend(part)
+
+    statements = [f"q{i}" for i in range(n_statements)]
+    part_costs: Dict[str, List[Dict[FrozenSet[Index], float]]] = {}
+    base = float(max_cost * len(indices) + 1)
+    for statement in statements:
+        tables: List[Dict[FrozenSet[Index], float]] = []
+        for part in partition:
+            ordered = sorted(part)
+            table: Dict[FrozenSet[Index], float] = {}
+            for mask in range(1 << len(ordered)):
+                subset = frozenset(
+                    ix for i, ix in enumerate(ordered) if mask & (1 << i)
+                )
+                table[subset] = 0.0 if not subset else float(
+                    rng.randint(-max_cost, max_cost)
+                )
+            tables.append(table)
+        part_costs[statement] = tables
+    workload = SyntheticWorkload(partition, statements, part_costs, base)
+
+    create = {ix: float(rng.randint(1, max_create)) for ix in indices}
+    drop = {ix: float(rng.randint(0, 3)) for ix in indices}
+    transitions = TransitionCosts(create=create, drop=drop)
+    return workload, transitions

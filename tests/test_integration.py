@@ -1,0 +1,133 @@
+"""End-to-end integration tests over the real substrate.
+
+These exercise the full stack — workload generation, what-if costing, IBG
+statistics, candidate selection, WFA⁺ recommendation logic, OPT and the
+driver — on a miniature version of the paper's benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BC,
+    OfflineOptimizer,
+    StatsTransitionCosts,
+    WFIT,
+    WhatIfOptimizer,
+    compute_fixed_partition,
+    generate_workload,
+    run_online,
+    scaled_phases,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_experiment(bench_catalog):
+    """A small but complete experiment setup shared by the tests."""
+    catalog, stats = bench_catalog
+    optimizer = WhatIfOptimizer(stats)
+    transitions = StatsTransitionCosts(stats)
+    workload = generate_workload(catalog, stats, scaled_phases(12), seed=3)
+    fixed = compute_fixed_partition(
+        workload.statements, optimizer, transitions, idx_cnt=16, state_cnt=128
+    )
+    schedule = OfflineOptimizer(
+        fixed.partition, frozenset(), optimizer.cost, transitions
+    ).run(workload.statements)
+    return optimizer, transitions, workload, fixed, schedule
+
+
+class TestFixedPartitionSetup:
+    def test_candidate_budget(self, mini_experiment):
+        _, _, _, fixed, _ = mini_experiment
+        assert 0 < len(fixed.candidates) <= 16
+        assert fixed.candidates <= fixed.universe
+
+    def test_partition_is_partition(self, mini_experiment):
+        _, _, _, fixed, _ = mini_experiment
+        union = set().union(*fixed.partition)
+        assert union == set(fixed.candidates)
+        assert sum(len(p) for p in fixed.partition) == len(fixed.candidates)
+        assert sum(2 ** len(p) for p in fixed.partition) <= 128
+
+    def test_average_benefit_ranked_selection(self, mini_experiment):
+        _, _, _, fixed, _ = mini_experiment
+        chosen = {fixed.average_benefit.get(ix, 0.0) for ix in fixed.candidates}
+        rejected = {
+            fixed.average_benefit.get(ix, 0.0)
+            for ix in fixed.universe - fixed.candidates
+        }
+        if chosen and rejected:
+            assert max(rejected) <= max(chosen) + 1e-9
+
+
+class TestEndToEndRuns:
+    def test_wfit_beats_bc(self, mini_experiment):
+        optimizer, transitions, workload, fixed, _ = mini_experiment
+        wfit = WFIT(optimizer, transitions, fixed_partition=fixed.partition)
+        wfit_result = run_online(
+            wfit, workload.statements, optimizer.cost, transitions
+        )
+        bc = BC(fixed.candidates, frozenset(), optimizer.cost, transitions)
+        bc_result = run_online(
+            bc, workload.statements, optimizer.cost, transitions
+        )
+        assert wfit_result.total_work <= bc_result.total_work * 1.05
+
+    def test_opt_lower_bound_holds(self, mini_experiment):
+        optimizer, transitions, workload, fixed, schedule = mini_experiment
+        wfit = WFIT(optimizer, transitions, fixed_partition=fixed.partition)
+        result = run_online(wfit, workload.statements, optimizer.cost, transitions)
+        assert schedule.lower_bound <= result.total_work + 1e-6
+
+    def test_good_feedback_never_hurts_by_the_end(self, mini_experiment):
+        optimizer, transitions, workload, fixed, schedule = mini_experiment
+        baseline = run_online(
+            WFIT(optimizer, transitions, fixed_partition=fixed.partition),
+            workload.statements, optimizer.cost, transitions,
+        )
+        guided = run_online(
+            WFIT(optimizer, transitions, fixed_partition=fixed.partition),
+            workload.statements, optimizer.cost, transitions,
+            feedback_events=schedule.sustained_events(len(workload) // 4, good=True),
+        )
+        assert guided.total_work <= baseline.total_work * 1.1
+
+    def test_auto_mode_runs_clean(self, mini_experiment):
+        optimizer, transitions, workload, _, _ = mini_experiment
+        auto = WFIT(optimizer, transitions, idx_cnt=16, state_cnt=128, seed=2)
+        result = run_online(
+            auto, workload.statements, optimizer.cost, transitions
+        )
+        assert result.total_work > 0
+        assert auto.statements_analyzed == len(workload)
+        assert auto.tracked_states <= 128
+
+    def test_lag_degrades_but_not_catastrophically(self, mini_experiment):
+        optimizer, transitions, workload, fixed, _ = mini_experiment
+
+        def fresh():
+            return WFIT(optimizer, transitions, fixed_partition=fixed.partition)
+
+        immediate = run_online(
+            fresh(), workload.statements, optimizer.cost, transitions
+        )
+        lagged = run_online(
+            fresh(), workload.statements, optimizer.cost, transitions,
+            adopt_period=12,
+        )
+        assert immediate.total_work <= lagged.total_work + 1e-9
+        assert lagged.total_work <= immediate.total_work * 4
+
+    def test_update_heavy_workload_limits_recommendations(self, bench_catalog):
+        """Sanity: on an all-write workload WFIT recommends little."""
+        catalog, stats = bench_catalog
+        optimizer = WhatIfOptimizer(stats)
+        transitions = StatsTransitionCosts(stats)
+        from repro.query.ast import InsertStatement
+        statements = [InsertStatement("tpch.lineitem", 500) for _ in range(30)]
+        tuner = WFIT(optimizer, transitions, idx_cnt=8, state_cnt=64)
+        for statement in statements:
+            tuner.analyze_statement(statement)
+        assert tuner.recommend() == frozenset()

@@ -1,0 +1,105 @@
+"""Tests for the benchmark workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import build_catalog
+from repro.query.ast import (
+    DeleteStatement,
+    InsertStatement,
+    SelectQuery,
+    UpdateStatement,
+)
+from repro.workload import (
+    DEFAULT_PHASES,
+    WorkloadGenerator,
+    generate_workload,
+    scaled_phases,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog_and_stats():
+    return build_catalog(scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def workload(catalog_and_stats):
+    catalog, stats = catalog_and_stats
+    return generate_workload(catalog, stats, scaled_phases(40), seed=11)
+
+
+class TestGeneration:
+    def test_length(self, workload):
+        assert len(workload) == 8 * 40
+
+    def test_deterministic(self, catalog_and_stats):
+        catalog, stats = catalog_and_stats
+        first = generate_workload(catalog, stats, scaled_phases(10), seed=3)
+        second = generate_workload(catalog, stats, scaled_phases(10), seed=3)
+        assert first.statements == second.statements
+
+    def test_seed_changes_workload(self, catalog_and_stats):
+        catalog, stats = catalog_and_stats
+        first = generate_workload(catalog, stats, scaled_phases(10), seed=3)
+        second = generate_workload(catalog, stats, scaled_phases(10), seed=4)
+        assert first.statements != second.statements
+
+    def test_contains_reads_and_writes(self, workload):
+        kinds = {type(s) for s in workload}
+        assert SelectQuery in kinds
+        assert kinds & {UpdateStatement, InsertStatement, DeleteStatement}
+
+    def test_phase_dataset_focus(self, workload):
+        """Statements of each phase predominantly hit its focused datasets."""
+        for phase, (name, start) in zip(DEFAULT_PHASES, workload.phase_boundaries):
+            end = start + 40
+            allowed = set(phase.dataset_weights)
+            for statement in workload.statements[start:end]:
+                datasets = {t.split(".")[0] for t in statement.tables_referenced()}
+                assert datasets <= allowed, (name, datasets)
+
+    def test_update_fractions_roughly_respected(self, workload):
+        for phase, (name, start) in zip(DEFAULT_PHASES, workload.phase_boundaries):
+            chunk = workload.statements[start:start + 40]
+            fraction = sum(1 for s in chunk if s.is_update) / len(chunk)
+            assert abs(fraction - phase.update_fraction) < 0.25, name
+
+    def test_predicates_within_column_domains(self, workload, catalog_and_stats):
+        _, stats = catalog_and_stats
+        for statement in workload:
+            for table in statement.tables_referenced():
+                for pred in statement.predicates_on(table):
+                    if not hasattr(pred, "lo"):
+                        continue
+                    col = stats.column_stats(table, pred.column.column)
+                    if pred.lo is not None:
+                        assert pred.lo >= col.min_value - 1e-6
+                    if pred.hi is not None:
+                        assert pred.hi <= col.max_value + 1e-6
+
+    def test_queries_have_predicates(self, workload):
+        for statement in workload:
+            if isinstance(statement, SelectQuery):
+                assert statement.predicates or statement.joins
+
+    def test_joins_reference_valid_tables(self, workload, catalog_and_stats):
+        catalog, _ = catalog_and_stats
+        for statement in workload:
+            for table in statement.tables_referenced():
+                assert catalog.has_table(table)
+
+    def test_templates_repeat_with_jitter(self, catalog_and_stats):
+        """The same template yields different literals across instances."""
+        catalog, stats = catalog_and_stats
+        workload = generate_workload(catalog, stats, scaled_phases(60), seed=5)
+        selects = [s for s in workload if isinstance(s, SelectQuery)]
+        shapes = {}
+        for query in selects:
+            key = (query.tables, tuple(p.column for p in query.predicates))
+            shapes.setdefault(key, []).append(query)
+        repeated = [group for group in shapes.values() if len(group) > 3]
+        assert repeated, "expected repeated templates"
+        group = max(repeated, key=len)
+        assert len(set(group)) > 1, "literals should jitter"

@@ -1,0 +1,55 @@
+"""Tests for the phase schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.phases import DEFAULT_PHASES, PhaseSpec, scaled_phases
+
+
+class TestPhaseSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("p", {}, 0.1)
+        with pytest.raises(ValueError):
+            PhaseSpec("p", {"tpch": -1.0}, 0.1)
+        with pytest.raises(ValueError):
+            PhaseSpec("p", {"tpch": 1.0}, 1.5)
+        with pytest.raises(ValueError):
+            PhaseSpec("p", {"tpch": 1.0}, 0.1, statement_count=0)
+        with pytest.raises(ValueError):
+            PhaseSpec("p", {"tpch": 1.0}, 0.1, template_count=0)
+
+    def test_with_statement_count(self):
+        phase = DEFAULT_PHASES[0].with_statement_count(37)
+        assert phase.statement_count == 37
+        assert phase.name == DEFAULT_PHASES[0].name
+
+
+class TestDefaultSchedule:
+    def test_eight_phases(self):
+        assert len(DEFAULT_PHASES) == 8
+
+    def test_default_statement_count_matches_paper(self):
+        assert all(p.statement_count == 200 for p in DEFAULT_PHASES)
+
+    def test_adjacent_phases_overlap_in_datasets(self):
+        """§6.1: adjacent phases overlap in the focused data sets."""
+        for first, second in zip(DEFAULT_PHASES, DEFAULT_PHASES[1:]):
+            shared = set(first.dataset_weights) & set(second.dataset_weights)
+            assert shared, (first.name, second.name)
+
+    def test_update_fraction_varies(self):
+        fractions = {p.update_fraction for p in DEFAULT_PHASES}
+        assert len(fractions) >= 4
+
+    def test_all_datasets_featured(self):
+        datasets = set()
+        for phase in DEFAULT_PHASES:
+            datasets.update(phase.dataset_weights)
+        assert datasets == {"tpcc", "tpch", "tpce", "nref"}
+
+    def test_scaled_phases(self):
+        scaled = scaled_phases(25)
+        assert all(p.statement_count == 25 for p in scaled)
+        assert len(scaled) == len(DEFAULT_PHASES)
