@@ -17,6 +17,7 @@ import random
 from typing import AbstractSet, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..db.index import Index
+from .bitset import IndexUniverse
 
 __all__ = ["partition_loss", "pairwise_loss", "choose_partition", "state_count"]
 
@@ -84,9 +85,14 @@ def _randomized_merge(
     Pair losses are maintained incrementally: merging parts i and j gives
     ``loss(i∪j, k) = loss(i, k) + loss(j, k)``, so only pairs that started
     with positive doi ever need tracking.
+
+    Parts are int-encoded configurations over a local
+    :class:`~repro.core.bitset.IndexUniverse`: a merge is one ``|``, a part
+    size one popcount, and the feasibility bookkeeping never touches a set.
     """
-    parts: Dict[int, FrozenSet[Index]] = {
-        k: frozenset({ix}) for k, ix in enumerate(indices)
+    universe = IndexUniverse(indices)
+    parts: Dict[int, int] = {
+        k: 1 << universe.ensure(ix) for k, ix in enumerate(indices)
     }
     next_id = len(indices)
     ordered = list(indices)
@@ -98,17 +104,18 @@ def _randomized_merge(
                 pair_loss[(i, j)] = value
 
     def total_states() -> int:
-        return sum(1 << len(p) for p in parts.values())
+        return sum(1 << mask.bit_count() for mask in parts.values())
 
     while pair_loss:
         states = total_states()
         mergeable: List[Tuple[int, int, float]] = []
         for (i, j), loss in pair_loss.items():
-            size = len(parts[i]) + len(parts[j])
-            if size > MAX_PART_SIZE:
+            size_i = parts[i].bit_count()
+            size_j = parts[j].bit_count()
+            if size_i + size_j > MAX_PART_SIZE:
                 continue
-            new_states = states - (1 << len(parts[i])) - (1 << len(parts[j])) + (
-                1 << size
+            new_states = states - (1 << size_i) - (1 << size_j) + (
+                1 << (size_i + size_j)
             )
             if new_states <= state_cnt:
                 mergeable.append((i, j, loss))
@@ -117,7 +124,7 @@ def _randomized_merge(
         singleton_pairs = [
             (i, j, loss)
             for i, j, loss in mergeable
-            if len(parts[i]) == 1 and len(parts[j]) == 1
+            if parts[i].bit_count() == 1 and parts[j].bit_count() == 1
         ]
         if singleton_pairs:
             pool = singleton_pairs
@@ -129,9 +136,9 @@ def _randomized_merge(
             weights = [
                 loss
                 / (
-                    (1 << (len(parts[i]) + len(parts[j])))
-                    - (1 << len(parts[i]))
-                    - (1 << len(parts[j]))
+                    (1 << (parts[i].bit_count() + parts[j].bit_count()))
+                    - (1 << parts[i].bit_count())
+                    - (1 << parts[j].bit_count())
                 )
                 for i, j, loss in pool
             ]
@@ -153,7 +160,7 @@ def _randomized_merge(
             else:
                 updated[(x, y)] = updated.get((x, y), 0.0) + loss
         pair_loss = updated
-    return list(parts.values())
+    return [universe.decode(mask) for mask in parts.values()]
 
 
 def choose_partition(

@@ -9,7 +9,13 @@ every configuration ``S`` of that part:
 Configurations are bitmasks over the part's (deterministically sorted)
 indices. The recurrence is evaluated in ``O(2^k · k)`` per statement by
 per-dimension relaxation, exploiting that δ decomposes into independent
-per-index create/drop costs.
+per-index create/drop costs. Transition costs come from a precomputed
+:class:`~repro.core.bitset.MaskDeltaTable` (two array reads per δ), and
+when the cost provider speaks masks (the
+:class:`~repro.optimizer.whatif.WhatIfOptimizer` contract) statement costs
+are fetched through the bitset kernel without constructing a single
+frozenset; a pure-``frozenset`` twin is retained in
+:mod:`repro.core.wfa_reference` as the equivalence oracle.
 
 The recommendation rule follows Figure 3: the next recommendation minimizes
 ``score(S) = w[S] + δ(S, currRec)`` subject to the ``S ∈ p[S]`` condition
@@ -27,6 +33,7 @@ from __future__ import annotations
 from typing import AbstractSet, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..db.index import Index
+from .bitset import MaskDeltaTable, delta_cost
 
 __all__ = ["WFA", "CostFunction", "TransitionCosts"]
 
@@ -61,14 +68,7 @@ class TransitionCosts:
         return self._drop.get(index, self._default_drop)
 
     def delta(self, old: AbstractSet[Index], new: AbstractSet[Index]) -> float:
-        total = 0.0
-        for index in new:
-            if index not in old:
-                total += self.create_cost(index)
-        for index in old:
-            if index not in new:
-                total += self.drop_cost(index)
-        return total
+        return delta_cost(self, old, new)
 
 
 #: Absolute tolerance for float comparisons of work-function values.
@@ -117,6 +117,26 @@ class WFA:
         self._create = [transitions.create_cost(ix) for ix in self._indices]
         self._drop = [transitions.drop_cost(ix) for ix in self._indices]
         self._size = 1 << len(self._indices)
+        # Bitset kernel state: precomputed δ prefix sums and (when the cost
+        # provider speaks masks) each local mask re-encoded in the
+        # provider's global IndexUniverse. The per-mask subset table is
+        # only materialized when the slow path first needs it — there every
+        # statement decodes all 2^k configurations anyway.
+        self._delta_table = MaskDeltaTable(self._create, self._drop)
+        self._mask_provider = self._detect_mask_provider(cost_fn)
+        self._subsets: Optional[List[FrozenSet[Index]]] = None
+        if self._mask_provider is not None:
+            universe = self._mask_provider.mask_universe
+            bit_masks = [1 << universe.ensure(ix) for ix in self._indices]
+            global_masks = [0] * self._size
+            for mask in range(1, self._size):
+                low = mask & -mask
+                global_masks[mask] = (
+                    global_masks[mask ^ low] | bit_masks[low.bit_length() - 1]
+                )
+            self._global_masks: Optional[List[int]] = global_masks
+        else:
+            self._global_masks = None
 
         initial_mask = self._mask_of(initial_config)
         if work_values is not None:
@@ -124,9 +144,8 @@ class WFA:
             for subset, value in work_values.items():
                 self._w[self._mask_of(subset)] = value
         else:
-            self._w = [
-                self._delta_masks(initial_mask, mask) for mask in range(self._size)
-            ]
+            delta = self._delta_table.delta
+            self._w = [delta(initial_mask, mask) for mask in range(self._size)]
         if recommendation is not None:
             self._rec = self._mask_of(recommendation)
         else:
@@ -134,6 +153,39 @@ class WFA:
         self._statements_analyzed = 0
 
     # -- mask helpers --------------------------------------------------------
+
+    @staticmethod
+    def _detect_mask_provider(cost_fn):
+        """The optimizer behind ``cost_fn`` when it speaks masks, else None.
+
+        Duck-typed: an owner exposing ``statement_costs`` and
+        ``mask_universe`` — the
+        :class:`~repro.optimizer.whatif.WhatIfOptimizer` contract — lets the
+        work-function update skip frozenset construction entirely. The fast
+        path engages only when ``cost_fn`` *is* the published ``cost``
+        entry point of the class that defines ``statement_costs``: a
+        subclass that overrides ``cost`` (noise injection, instrumentation)
+        or any wrapper callable must be honored verbatim, so those fall
+        back to the plain per-configuration path.
+        """
+        owner = getattr(cost_fn, "__self__", None)
+        if owner is None:
+            # A non-method callable that itself publishes the mask contract
+            # (an explicit adapter) vouches for its own consistency.
+            if hasattr(cost_fn, "statement_costs") and hasattr(
+                cost_fn, "mask_universe"
+            ):
+                return cost_fn
+            return None
+        if not (
+            hasattr(owner, "statement_costs") and hasattr(owner, "mask_universe")
+        ):
+            return None
+        func = getattr(cost_fn, "__func__", None)
+        for klass in type(owner).__mro__:
+            if "statement_costs" in vars(klass):
+                return owner if vars(klass).get("cost") is func else None
+        return None
 
     def _mask_of(self, subset: AbstractSet[Index]) -> int:
         mask = 0
@@ -144,21 +196,15 @@ class WFA:
         return mask
 
     def _set_of(self, mask: int) -> FrozenSet[Index]:
+        subsets = self._subsets
+        if subsets is not None:
+            return subsets[mask]
         return frozenset(
             ix for i, ix in enumerate(self._indices) if mask & (1 << i)
         )
 
     def _delta_masks(self, old: int, new: int) -> float:
-        total = 0.0
-        added = new & ~old
-        dropped = old & ~new
-        for i in range(len(self._indices)):
-            bit = 1 << i
-            if added & bit:
-                total += self._create[i]
-            elif dropped & bit:
-                total += self._drop[i]
-        return total
+        return self._delta_table.delta(old, new)
 
     @staticmethod
     def _lex_prefers(mask_a: int, mask_b: int) -> bool:
@@ -202,10 +248,21 @@ class WFA:
     # -- the algorithm -----------------------------------------------------------
 
     def _statement_costs(self, statement: object) -> List[float]:
-        return [
-            self._cost_fn(statement, self._set_of(mask))
-            for mask in range(self._size)
-        ]
+        if self._global_masks is not None:
+            return self._mask_provider.statement_costs(statement).costs(
+                self._global_masks
+            )
+        subsets = self._subsets
+        if subsets is None:
+            indices = self._indices
+            subsets = self._subsets = [
+                frozenset(
+                    ix for i, ix in enumerate(indices) if mask & (1 << i)
+                )
+                for mask in range(self._size)
+            ]
+        cost_fn = self._cost_fn
+        return [cost_fn(statement, subset) for subset in subsets]
 
     def analyze_statement(self, statement: object) -> FrozenSet[Index]:
         """``WFA.analyzeQuery`` of Figure 3; returns the new recommendation."""
@@ -245,13 +302,17 @@ class WFA:
         self._statements_analyzed += 1
 
         # Stage 2: pick the next recommendation by minimum score with the
-        # self-path condition; Appendix-B lexicographic tie-break.
+        # self-path condition; Appendix-B lexicographic tie-break. The δ to
+        # the current recommendation is two precomputed-prefix-sum reads.
+        create_sum = self._delta_table.create_sum
+        drop_sum = self._delta_table.drop_sum
+        rec = self._rec
         best_mask: Optional[int] = None
         best_score = float("inf")
         for mask in range(size):
             if not self_path[mask]:
                 continue
-            score = new_w[mask] + self._delta_masks(mask, self._rec)
+            score = new_w[mask] + create_sum[rec & ~mask] + drop_sum[mask & ~rec]
             if best_mask is None:
                 best_mask, best_score = mask, score
                 continue
@@ -265,7 +326,7 @@ class WFA:
             # fall back to the plain minimum-score state.
             best_mask = min(
                 range(size),
-                key=lambda m: (new_w[m] + self._delta_masks(m, self._rec), m),
+                key=lambda m: (new_w[m] + self._delta_masks(m, rec), m),
             )
         self._rec = best_mask
         return self.recommend()
@@ -297,13 +358,20 @@ class WFA:
         self._rec = new_rec
         w = self._w
         rec_value = w[new_rec]
+        table = self._delta_table
+        create_sum = table.create_sum
+        drop_sum = table.drop_sum
         for mask in range(self._size):
             consistent = (mask & ~minus_mask) | plus_mask
-            min_diff = (
-                self._delta_masks(mask, consistent)
-                + self._delta_masks(consistent, mask)
+            # δ(mask, consistent) + δ(consistent, mask) — a round trip over
+            # exactly the bits the votes flip.
+            min_diff = table.round_trip(mask ^ consistent)
+            diff = (
+                w[mask]
+                + create_sum[new_rec & ~mask]
+                + drop_sum[mask & ~new_rec]
+                - rec_value
             )
-            diff = w[mask] + self._delta_masks(mask, new_rec) - rec_value
             if diff < min_diff:
                 w[mask] += min_diff - diff
         return self.recommend()

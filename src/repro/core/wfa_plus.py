@@ -10,6 +10,11 @@ competitive ratio drops from ``2^{|C|+1} − 1`` to ``2^{c_max+1} − 1``
 Feedback is supported here as well (delegated to each part per Figure 4),
 so a fixed-partition WFIT — the configuration used by most of the paper's
 experiments — is exactly this class.
+
+Each per-part instance runs on the bitset configuration kernel
+(:mod:`repro.core.bitset`): when the shared ``cost_fn`` is a mask-capable
+what-if optimizer, one statement analyzed across all K parts performs
+``Σ 2^|Ck|`` int-keyed cache probes and zero frozenset constructions.
 """
 
 from __future__ import annotations

@@ -26,26 +26,16 @@ from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..db.index import Index
 from ..ibg.analysis import degree_of_interaction, max_benefit
-from ..ibg.graph import IndexBenefitGraph, build_ibg
+from ..ibg.graph import IndexBenefitGraph
 from ..optimizer.extract import extract_indices
 from ..optimizer.whatif import WhatIfOptimizer
+from .bitset import delta_cost
 from .candidates import IndexStatistics, top_indices
 from .partitioning import choose_partition, state_count
 from .wfa import WFA
 from .wfa_plus import validate_partition
 
 __all__ = ["WFIT"]
-
-
-def _delta_sets(transitions, old: AbstractSet[Index], new: AbstractSet[Index]) -> float:
-    total = 0.0
-    for index in new:
-        if index not in old:
-            total += transitions.create_cost(index)
-    for index in old:
-        if index not in new:
-            total += transitions.drop_cost(index)
-    return total
 
 
 class WFIT:
@@ -190,8 +180,10 @@ class WFIT:
 
     def _choose_candidates(self, statement: object) -> List[FrozenSet[Index]]:
         self._universe.update(extract_indices(statement))
-        ibg = build_ibg(
-            self._optimizer, statement, frozenset(self._universe),
+        # Via the optimizer's per-statement IBG cache, so the WFA instances'
+        # bulk costing reuses the same graph instead of re-optimizing.
+        ibg = self._optimizer.statement_ibg(
+            statement, frozenset(self._universe),
             max_nodes=self._max_ibg_nodes,
         )
         self._update_statistics(statement, ibg)
@@ -268,7 +260,7 @@ class WFIT:
                         total += old_value[subset & old_part]
                 # Line 7 of Figure 5: account for creating indices that were
                 # never monitored before (relative to the original S0).
-                total += _delta_sets(
+                total += delta_cost(
                     self._transitions,
                     (self._initial_config & part) - old_candidates,
                     subset - old_candidates,

@@ -61,14 +61,11 @@ class StatsTransitionCosts:
 
     def delta(self, old: AbstractSet[Index], new: AbstractSet[Index]) -> float:
         """δ(old, new): cost to change the materialized set from old to new."""
-        total = 0.0
-        for index in new:
-            if index not in old:
-                total += self.create_cost(index)
-        for index in old:
-            if index not in new:
-                total += self.drop_cost(index)
-        return total
+        # Method-level import: the kernel lives in the algorithm layer and
+        # importing it at module scope would cycle db -> core -> db.
+        from ..core.bitset import delta_cost
+
+        return delta_cost(self, old, new)
 
     def round_trip(self, indices: Iterable[Index]) -> float:
         """Σ (δ⁺ + δ⁻) over ``indices`` — used by the feedback bound (5.1)."""

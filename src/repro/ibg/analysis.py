@@ -13,13 +13,18 @@ enumeration is restricted to the *interaction scope* of the index — by
 default the IBG indices on the same table, because the cost model localizes
 interactions within a table (hash-join configuration; see DESIGN.md). A
 wider scope can be requested when index-nested-loop joins are enabled.
+
+The sweeps run on the bitset kernel: contexts are enumerated as submasks
+of the scope mask (``sub = (sub − 1) & scope``, one int op per subset) and
+costs are read through :meth:`IndexBenefitGraph.cost_mask`, so a full
+``2^|scope|`` benefit scan allocates no containers at all.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Iterator, Tuple
 
+from ..core.bitset import iter_submasks
 from ..db.index import Index
 from .graph import IndexBenefitGraph
 
@@ -35,6 +40,24 @@ __all__ = [
 _FULL_ENUMERATION_LIMIT = 12
 
 
+def _scope_mask(
+    ibg: IndexBenefitGraph, index: Index, same_table_only: bool
+) -> int:
+    """The interaction scope as a mask over the IBG's universe.
+
+    This is the single definition of the scope rule;
+    :func:`interaction_scope` is its decoded view. An ``index`` not (yet)
+    registered in the universe simply contributes no bit to exclude.
+    """
+    universe = ibg.universe
+    position = universe.position(index)
+    bit = 0 if position is None else 1 << position
+    pool = ibg.all_used_mask()
+    if same_table_only:
+        pool &= universe.table_mask(index.table)
+    return pool & ~bit
+
+
 def interaction_scope(
     ibg: IndexBenefitGraph, index: Index, same_table_only: bool = True
 ) -> FrozenSet[Index]:
@@ -45,40 +68,27 @@ def interaction_scope(
     interact with anything. With the default hash-join cost model the scope
     is further restricted to the same table (cross-table doi is provably 0).
     """
-    pool = ibg.all_used_indices() | {index}
-    if same_table_only:
-        return frozenset(
-            other for other in pool
-            if other.table == index.table and other != index
-        )
-    return frozenset(other for other in pool if other != index)
+    return ibg.universe.decode(_scope_mask(ibg, index, same_table_only))
 
 
-def _context_subsets(
-    ibg: IndexBenefitGraph, scope: FrozenSet[Index]
-) -> Iterable[FrozenSet[Index]]:
-    """Candidate contexts X for the maxima.
+def _context_masks(ibg: IndexBenefitGraph, scope: int) -> Iterator[int]:
+    """Candidate contexts X for the maxima, as masks.
 
     Full power set when the scope is small; otherwise the family of used
     sets realized by IBG nodes (projected into the scope), which is where
     the piecewise-constant benefit function changes value.
     """
-    if len(scope) <= _FULL_ENUMERATION_LIMIT:
-        items = sorted(scope)
-        for r in range(len(items) + 1):
-            for combo in itertools.combinations(items, r):
-                yield frozenset(combo)
+    if scope.bit_count() <= _FULL_ENUMERATION_LIMIT:
+        yield from iter_submasks(scope)
         return
-    seen = {frozenset()}
-    yield frozenset()
+    seen = {0}
+    yield 0
     for node in ibg:
-        projected = node.used & scope
-        for r in range(len(projected) + 1):
-            for combo in itertools.combinations(sorted(projected), r):
-                ctx = frozenset(combo)
-                if ctx not in seen:
-                    seen.add(ctx)
-                    yield ctx
+        projected = node.used_mask & scope
+        for context in iter_submasks(projected):
+            if context not in seen:
+                seen.add(context)
+                yield context
     if scope not in seen:
         yield scope
 
@@ -87,12 +97,15 @@ def max_benefit(
     ibg: IndexBenefitGraph, index: Index, same_table_only: bool = True
 ) -> float:
     """β = max over X ⊆ U of ``benefit_q({index}, X)`` (0 if never positive)."""
-    if index not in ibg.candidates or index not in ibg.all_used_indices():
+    if index not in ibg.universe:
         return 0.0
-    scope = interaction_scope(ibg, index, same_table_only)
+    bit = ibg.universe.bit_of(index)
+    if not (ibg.candidates_mask & bit) or not (ibg.all_used_mask() & bit):
+        return 0.0
     best = 0.0
-    for context in _context_subsets(ibg, scope):
-        benefit = ibg.cost(context) - ibg.cost(context | {index})
+    cost = ibg.cost_mask
+    for context in _context_masks(ibg, _scope_mask(ibg, index, same_table_only)):
+        benefit = cost(context) - cost(context | bit)
         if benefit > best:
             best = benefit
     return best
@@ -107,19 +120,26 @@ def degree_of_interaction(
     """doi_q(a, b) per §2 of the paper; symmetric in ``a`` and ``b``."""
     if a == b:
         raise ValueError("degree of interaction is defined for distinct indices")
-    if a not in ibg.candidates or b not in ibg.candidates:
+    universe = ibg.universe
+    if a not in universe or b not in universe:
+        return 0.0
+    a_bit = universe.bit_of(a)
+    b_bit = universe.bit_of(b)
+    candidates = ibg.candidates_mask
+    if not (candidates & a_bit) or not (candidates & b_bit):
         return 0.0
     if same_table_only and a.table != b.table:
         return 0.0
-    used_anywhere = ibg.all_used_indices()
-    if a not in used_anywhere or b not in used_anywhere:
+    used_anywhere = ibg.all_used_mask()
+    if not (used_anywhere & a_bit) or not (used_anywhere & b_bit):
         return 0.0  # an index that never enters a plan cannot interact
-    scope = interaction_scope(ibg, a, same_table_only) - {b}
+    scope = _scope_mask(ibg, a, same_table_only) & ~b_bit
     worst = 0.0
-    for context in _context_subsets(ibg, scope):
-        benefit_without = ibg.cost(context) - ibg.cost(context | {a})
-        with_b = context | {b}
-        benefit_with = ibg.cost(with_b) - ibg.cost(with_b | {a})
+    cost = ibg.cost_mask
+    for context in _context_masks(ibg, scope):
+        benefit_without = cost(context) - cost(context | a_bit)
+        with_b = context | b_bit
+        benefit_with = cost(with_b) - cost(with_b | a_bit)
         diff = abs(benefit_without - benefit_with)
         if diff > worst:
             worst = diff

@@ -11,6 +11,13 @@ The core property (Lemma 1 of [16], guaranteed by plan monotonicity): if
 an arbitrary ``X`` is found by walking down from the root, repeatedly
 removing a used index not in ``X``.
 
+**Bitset encoding.** Subsets are stored as masks over the owning what-if
+optimizer's :class:`~repro.core.bitset.IndexUniverse`: nodes are keyed by
+int, the root-walk step is two mask operations, and ``cost_mask`` answers a
+lookup without constructing a single container — which is what makes the
+per-statement benefit/interaction sweeps of WFIT affordable. The frozenset
+API (``cost``, ``used``, ``benefit``) remains as an encode shim.
+
 **Write statements.** For updates/inserts/deletes, *every* index on the
 written table is cost-relevant through maintenance, which would make used
 sets — and hence the graph — exponential. But maintenance charges are
@@ -22,9 +29,9 @@ This representation is exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import AbstractSet, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from ..core.bitset import IndexUniverse, iter_bits
 from ..db.index import Index
 from ..query.ast import Statement
 from ..optimizer.whatif import WhatIfOptimizer
@@ -32,42 +39,88 @@ from ..optimizer.whatif import WhatIfOptimizer
 __all__ = ["IBGNode", "IndexBenefitGraph", "build_ibg"]
 
 
-@dataclass(frozen=True)
+def _maintenance_tables(
+    universe: IndexUniverse, maintenance: Dict[Index, float]
+) -> Tuple[int, Dict[int, float]]:
+    """``(maintenance mask, per-bit charge map)`` — the single definition of
+    how maintenance charges project into the mask encoding."""
+    mask = universe.project(maintenance)
+    by_bit = {
+        universe.bit_of(index): charge for index, charge in maintenance.items()
+    }
+    return mask, by_bit
+
+
 class IBGNode:
     """One optimized configuration in the IBG.
 
-    ``cost`` is the *core* (maintenance-free) plan cost under ``subset``;
-    ``used`` are the plan-relevant indices.
+    ``cost`` is the *core* (maintenance-free) plan cost under ``mask``;
+    ``used_mask`` are the plan-relevant indices. Both sets are stored only
+    as masks over the graph's :class:`IndexUniverse` — ``subset`` / ``used``
+    decode on demand, so graph construction allocates no containers.
     """
 
-    subset: FrozenSet[Index]
-    cost: float
-    used: FrozenSet[Index]
+    __slots__ = ("mask", "cost", "used_mask", "_universe")
+
+    def __init__(
+        self, mask: int, cost: float, used_mask: int, universe: IndexUniverse
+    ) -> None:
+        self.mask = mask
+        self.cost = cost
+        self.used_mask = used_mask
+        self._universe = universe
+
+    @property
+    def subset(self) -> FrozenSet[Index]:
+        return self._universe.decode(self.mask)
+
+    @property
+    def used(self) -> FrozenSet[Index]:
+        return self._universe.decode(self.used_mask)
+
+    def __repr__(self) -> str:
+        return (
+            f"IBGNode(subset={sorted(ix.name for ix in self.subset)}, "
+            f"cost={self.cost!r}, "
+            f"used={sorted(ix.name for ix in self.used)})"
+        )
 
 
 class IndexBenefitGraph:
     """The IBG of one statement over a candidate set ``U``.
 
     Provides ``cost(X)`` / ``used(X)`` lookups for any ``X ⊆ U`` without
-    further optimizer calls.
+    further optimizer calls; the ``*_mask`` variants answer the same
+    questions for :class:`IndexUniverse`-encoded configurations.
     """
 
     def __init__(
         self,
         statement: Statement,
-        candidates: FrozenSet[Index],
-        nodes: Dict[FrozenSet[Index], IBGNode],
-        root: FrozenSet[Index],
+        universe: IndexUniverse,
+        nodes: Dict[int, IBGNode],
+        root_mask: int,
         maintenance: Dict[Index, float],
     ) -> None:
         self.statement = statement
-        self.candidates = candidates
+        self._universe = universe
         self._nodes = nodes
-        self._root = root
+        self._root_mask = root_mask
+        self.candidates_mask = root_mask
+        self.candidates = universe.decode(root_mask)
         self._maintenance = dict(maintenance)
-        self._covering_cache: Dict[FrozenSet[Index], IBGNode] = {}
+        self._maintenance_mask, self._maintenance_by_bit = _maintenance_tables(
+            universe, maintenance
+        )
+        self._covering_cache: Dict[int, IBGNode] = {}
+        self._all_used_mask: Optional[int] = None
         self._all_used: Optional[FrozenSet[Index]] = None
-        self.empty_cost = self.cost(frozenset())
+        self.empty_cost = self.cost_mask(0)
+
+    @property
+    def universe(self) -> IndexUniverse:
+        """The bit-position table this graph's masks are encoded in."""
+        return self._universe
 
     @property
     def nodes(self) -> Tuple[IBGNode, ...]:
@@ -79,60 +132,88 @@ class IndexBenefitGraph:
 
     @property
     def root(self) -> IBGNode:
-        return self._nodes[self._root]
+        return self._nodes[self._root_mask]
 
     @property
     def maintained_indices(self) -> FrozenSet[Index]:
         """Indices that charge maintenance under this (write) statement."""
         return frozenset(self._maintenance)
 
-    def _find_covering(self, subset: FrozenSet[Index]) -> IBGNode:
+    def _find_covering(self, wanted: int) -> IBGNode:
         """Walk from the root to the node whose core cost equals the
         target subset's core cost."""
-        cached = self._covering_cache.get(subset)
+        cached = self._covering_cache.get(wanted)
         if cached is not None:
             return cached
-        node = self._nodes[self._root]
+        nodes = self._nodes
+        node = nodes[self._root_mask]
         while True:
-            extra = node.used - subset
+            extra = node.used_mask & ~wanted
             if not extra:
-                self._covering_cache[subset] = node
+                self._covering_cache[wanted] = node
                 return node
-            # Remove any used index not in the target subset; deterministic
-            # choice keeps traversals reproducible.
-            drop = min(extra)
-            child_key = node.subset - {drop}
-            child = self._nodes.get(child_key)
+            # Remove any used index not in the target subset; the lowest
+            # set bit keeps traversals deterministic and reproducible.
+            drop = extra & -extra
+            child = nodes.get(node.mask & ~drop)
             if child is None:
                 raise KeyError(
-                    f"IBG is missing child {child_key} — was it built with a node cap?"
+                    f"IBG is missing child {self._universe.decode(node.mask & ~drop)}"
+                    f" — was it built with a node cap?"
                 )
             node = child
 
+    def _maintenance_sum(self, mask: int) -> float:
+        total = 0.0
+        charges = self._maintenance_by_bit
+        for bit in iter_bits(mask):
+            total += charges[bit]
+        return total
+
+    # -- mask-level lookups (the hot path) ------------------------------------
+
+    def cost_mask(self, config_mask: int) -> float:
+        """``cost(q, X)`` for an encoded ``X ⊆ U``, answered from the graph."""
+        wanted = config_mask & self._root_mask
+        total = self._find_covering(wanted).cost
+        charged = wanted & self._maintenance_mask
+        if charged:
+            total += self._maintenance_sum(charged)
+        return total
+
+    def used_mask(self, config_mask: int) -> int:
+        """``used(q, X)`` as a mask: the cost-relevant indices under ``X``."""
+        wanted = config_mask & self._root_mask
+        node = self._find_covering(wanted)
+        return (node.used_mask & wanted) | (wanted & self._maintenance_mask)
+
+    def all_used_mask(self) -> int:
+        """Mask union of cost-relevant indices over all configurations."""
+        if self._all_used_mask is None:
+            out = self._maintenance_mask
+            for node in self._nodes.values():
+                out |= node.used_mask
+            self._all_used_mask = out
+        return self._all_used_mask
+
+    # -- frozenset API (module-boundary shim) ----------------------------------
+
     def cost(self, subset: AbstractSet[Index]) -> float:
         """``cost(q, X)`` for any ``X ⊆ U``, answered from the graph."""
-        wanted = frozenset(subset) & self.candidates
-        total = self._find_covering(wanted).cost
-        if self._maintenance:
-            for index in wanted:
-                charge = self._maintenance.get(index)
-                if charge is not None:
-                    total += charge
-        return total
+        return self.cost_mask(self._universe.project(subset))
 
     def used(self, subset: AbstractSet[Index]) -> FrozenSet[Index]:
         """``used(q, X)``: the cost-relevant indices under ``X``."""
-        wanted = frozenset(subset) & self.candidates
-        node = self._find_covering(wanted)
-        plan_used = node.used & wanted
-        if not self._maintenance:
-            return plan_used
-        return plan_used | (wanted & frozenset(self._maintenance))
+        return self._universe.decode(
+            self.used_mask(self._universe.project(subset))
+        )
 
     def benefit(self, extra: AbstractSet[Index], base: AbstractSet[Index]) -> float:
         """``benefit_q(extra, base)`` evaluated entirely from the graph."""
-        base_set = frozenset(base)
-        return self.cost(base_set) - self.cost(base_set | frozenset(extra))
+        base_mask = self._universe.project(base)
+        return self.cost_mask(base_mask) - self.cost_mask(
+            base_mask | self._universe.project(extra)
+        )
 
     def all_used_indices(self) -> FrozenSet[Index]:
         """Union of cost-relevant indices over all configurations.
@@ -142,10 +223,7 @@ class IndexBenefitGraph:
         or any benefit: analyses may soundly restrict themselves to this set.
         """
         if self._all_used is None:
-            out = set(self._maintenance)
-            for node in self._nodes.values():
-                out.update(node.used)
-            self._all_used = frozenset(out)
+            self._all_used = self._universe.decode(self.all_used_mask())
         return self._all_used
 
     def __iter__(self) -> Iterator[IBGNode]:
@@ -165,33 +243,41 @@ def build_ibg(
     bounds pathological blow-up; the bound is generous because each node
     expands only into ``|plan-used|`` children and plan-used sets are small.
     """
-    relevant = optimizer.relevant_subset(statement, candidates)
+    universe = optimizer.mask_universe
+    root_mask = optimizer.relevant_mask(statement, universe.encode(candidates))
     maintenance: Dict[Index, float] = {}
     if statement.is_update:
-        for index in relevant:
+        for bit in iter_bits(root_mask):
+            index = universe.index_at(bit)
             charge = optimizer.maintenance_cost(statement, index)
             if charge > 0.0:
                 maintenance[index] = charge
+    maintenance_mask, charge_by_bit = _maintenance_tables(universe, maintenance)
 
-    root = frozenset(relevant)
-    nodes: Dict[FrozenSet[Index], IBGNode] = {}
-    queue: List[FrozenSet[Index]] = [root]
+    nodes: Dict[int, IBGNode] = {}
+    queue: List[int] = [root_mask]
     while queue:
-        subset = queue.pop()
-        if subset in nodes:
+        subset_mask = queue.pop()
+        if subset_mask in nodes:
             continue
         if len(nodes) >= max_nodes:
             raise RuntimeError(
                 f"IBG exceeded {max_nodes} nodes for statement {statement!r}"
             )
-        cost, plan_used = optimizer.plan_usage(statement, subset)
-        plan_used &= subset
+        cost, plan_used_mask = optimizer.plan_usage_mask(statement, subset_mask)
+        plan_used_mask &= subset_mask
         # Store the maintenance-free core cost so lookups stay exact for
         # arbitrary subsets (maintenance is re-added per lookup).
-        core = cost - sum(maintenance.get(ix, 0.0) for ix in subset)
-        nodes[subset] = IBGNode(subset=subset, cost=core, used=plan_used)
-        for index in plan_used:
-            child = subset - {index}
+        core = cost
+        charged = subset_mask & maintenance_mask
+        if charged:
+            core -= sum(charge_by_bit[bit] for bit in iter_bits(charged))
+        nodes[subset_mask] = IBGNode(subset_mask, core, plan_used_mask, universe)
+        remaining = plan_used_mask
+        while remaining:
+            bit = remaining & -remaining
+            remaining ^= bit
+            child = subset_mask & ~bit
             if child not in nodes:
                 queue.append(child)
-    return IndexBenefitGraph(statement, root, nodes, root, maintenance)
+    return IndexBenefitGraph(statement, universe, nodes, root_mask, maintenance)

@@ -12,18 +12,102 @@ over the analytical :class:`~repro.optimizer.cost_model.CostModel`, plus:
 * **Memoization with call accounting** — ``whatif_calls`` counts every
   costing request; ``optimizations`` counts actual (cache-missing) plan
   optimizations, the expensive quantity the paper reports in §6.2.
+
+Bitset kernel
+-------------
+Configurations are interned into a shared
+:class:`~repro.core.bitset.IndexUniverse` and the memo table keys on
+``(statement, relevant-mask)`` ints: relevance reduction is one ``&``
+against the statement's table mask and a hit costs one int-dict probe
+instead of hashing a frozenset. The frozenset API (``cost``, ``optimize``,
+``plan_usage``) is preserved as a thin encode/decode shim at the module
+boundary; hot loops use the ``*_mask`` variants or a per-statement
+:class:`StatementCosts` handle (see :meth:`WhatIfOptimizer.statement_costs`),
+which is what WFA's work-function update drives.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, FrozenSet, Optional, Tuple
+from collections import OrderedDict
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..core.bitset import IndexUniverse
 from ..db.index import Index
 from ..db.stats import StatsRepository
 from ..query.ast import Statement
 from .cost_model import CostModel, CostModelConfig, QueryPlan
 
-__all__ = ["WhatIfOptimizer"]
+__all__ = ["StatementCosts", "WhatIfOptimizer"]
+
+#: Per-statement memo entry: (total cost, used mask, plan-used mask).
+_Entry = Tuple[float, int, int]
+
+#: Bulk costing builds the statement's IBG once the requested configurations
+#: span at least this many candidate bits (2^3 = 8 subsets): below that,
+#: direct memoized optimization is cheaper than a graph build.
+_IBG_MIN_UNION_BITS = 3
+
+#: Most-recent statements whose IBG (or failed-build record) is retained.
+#: Graph reuse is within-statement (across WFA⁺ parts, and WFIT's
+#: chooseCands → analyze sequence), so a small LRU keeps every win while
+#: bounding memory over arbitrarily long non-repeating workload streams.
+_IBG_CACHE_LIMIT = 64
+
+#: Most-recent statements whose cost memo / table tuple is retained. Entries
+#: are small, so this is far larger than the IBG bound, but it keeps the
+#: optimizer's footprint flat over non-repeating workload streams too.
+_STMT_CACHE_LIMIT = 1024
+
+
+class StatementCosts:
+    """Mask-level costing handle for one statement (the WFA hot path).
+
+    Snapshots the statement's table mask once, then answers ``cost(mask)``
+    requests with one ``&`` plus one int-keyed dict probe, sharing the
+    owning optimizer's memo table (so every part of a WFA⁺ partition and
+    every caller of the frozenset API hit the same entries).
+    """
+
+    __slots__ = ("_optimizer", "_statement", "_cache")
+
+    def __init__(self, optimizer: "WhatIfOptimizer", statement: Statement) -> None:
+        self._optimizer = optimizer
+        self._statement = statement
+        self._cache = optimizer._statement_cache(statement)
+
+    def costs(self, config_masks: Sequence[int]) -> List[float]:
+        """Vectorized :meth:`cost` over many configuration masks.
+
+        When the request spans enough candidates, the statement's Index
+        Benefit Graph is built (or fetched) once and every configuration is
+        answered by a mask walk — the paper's §5 architecture: ``2^k``
+        configuration costs from a handful of plan optimizations.
+        """
+        optimizer = self._optimizer
+        optimizer.whatif_calls += len(config_masks)
+        statement = self._statement
+        # Recomputed per batch: the universe may have grown (new indices on
+        # this statement's tables) since the handle was created.
+        tables_mask = optimizer._statement_tables_mask(statement)
+        union = 0
+        for mask in config_masks:
+            union |= mask
+        union &= tables_mask
+        if union.bit_count() >= _IBG_MIN_UNION_BITS and len(config_masks) > 4:
+            graph = optimizer._statement_ibg(statement, union)
+            if graph is not None:
+                cost_mask = graph.cost_mask
+                return [cost_mask(mask & tables_mask) for mask in config_masks]
+        cache = self._cache
+        out: List[float] = []
+        append = out.append
+        for mask in config_masks:
+            relevant = mask & tables_mask
+            entry = cache.get(relevant)
+            if entry is None:
+                entry = optimizer._optimize_relevant(statement, relevant, cache)
+            append(entry[0])
+        return out
 
 
 class WhatIfOptimizer:
@@ -35,11 +119,19 @@ class WhatIfOptimizer:
         config: Optional[CostModelConfig] = None,
     ) -> None:
         self._model = CostModel(stats, config)
-        self._cache: Dict[
-            Tuple[Statement, FrozenSet[Index]],
-            Tuple[float, FrozenSet[Index], FrozenSet[Index]],
-        ] = {}
+        self._universe = IndexUniverse()
+        # statement -> {relevant mask -> (cost, used mask, plan-used mask)},
+        # LRU-bounded like every statement-keyed table here.
+        self._cache: "OrderedDict[Statement, Dict[int, _Entry]]" = OrderedDict()
+        self._stmt_tables: "OrderedDict[Statement, Tuple[str, ...]]" = OrderedDict()
         self._maintenance_cache: Dict[Tuple[Statement, Index], float] = {}
+        # statement -> its IBG, LRU-bounded (built lazily by bulk costing;
+        # grown when a request spans candidates outside the cached root).
+        self._ibg_cache: "OrderedDict[Statement, object]" = OrderedDict()
+        # statement -> (root, cap) of an IBG build that hit the node cap, so
+        # the identical doomed build is not repeated; a larger cap, or a
+        # different root, still retries. LRU-bounded like the graph cache.
+        self._ibg_failed: "OrderedDict[Statement, Tuple[int, int]]" = OrderedDict()
         self.whatif_calls = 0
         self.optimizations = 0
 
@@ -51,12 +143,37 @@ class WhatIfOptimizer:
     def stats(self) -> StatsRepository:
         return self._model.stats
 
+    @property
+    def mask_universe(self) -> IndexUniverse:
+        """The shared index-to-bit interning table for mask-level callers."""
+        return self._universe
+
+    # -- relevance reduction -------------------------------------------------
+
+    def _tables_of(self, statement: Statement) -> Tuple[str, ...]:
+        tables = self._stmt_tables.get(statement)
+        if tables is None:
+            tables = tuple(dict.fromkeys(statement.tables_referenced()))
+            self._stmt_tables[statement] = tables
+            while len(self._stmt_tables) > _STMT_CACHE_LIMIT:
+                self._stmt_tables.popitem(last=False)
+        return tables
+
+    def _statement_tables_mask(self, statement: Statement) -> int:
+        return self._universe.tables_mask(self._tables_of(statement))
+
     def relevant_subset(
         self, statement: Statement, config: AbstractSet[Index]
     ) -> FrozenSet[Index]:
         """Indices of ``config`` that can influence ``statement``'s plan."""
-        tables = set(statement.tables_referenced())
+        tables = set(self._tables_of(statement))
         return frozenset(ix for ix in config if ix.table in tables)
+
+    def relevant_mask(self, statement: Statement, config_mask: int) -> int:
+        """Mask analogue of :meth:`relevant_subset` (one ``&``)."""
+        return config_mask & self._statement_tables_mask(statement)
+
+    # -- plan inspection helpers ----------------------------------------------
 
     @staticmethod
     def _plan_indices(plan: QueryPlan) -> FrozenSet[Index]:
@@ -83,38 +200,159 @@ class WhatIfOptimizer:
             used.add(item.index)
         return frozenset(used)
 
-    def _lookup(
-        self, statement: Statement, config: AbstractSet[Index]
-    ) -> Tuple[float, FrozenSet[Index], FrozenSet[Index]]:
-        self.whatif_calls += 1
-        key = (statement, self.relevant_subset(statement, config))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+    # -- the memo table -------------------------------------------------------
+
+    def _statement_cache(self, statement: Statement) -> Dict[int, _Entry]:
+        cache = self._cache.get(statement)
+        if cache is None:
+            cache = self._cache[statement] = {}
+            while len(self._cache) > _STMT_CACHE_LIMIT:
+                self._cache.popitem(last=False)
+        return cache
+
+    def _optimize_relevant(
+        self,
+        statement: Statement,
+        relevant_mask: int,
+        cache: Dict[int, _Entry],
+    ) -> _Entry:
+        """Cache miss: run the actual plan optimization and intern masks."""
         self.optimizations += 1
-        plan = self._model.explain(statement, key[1])
-        result = (
+        universe = self._universe
+        plan = self._model.explain(statement, universe.decode(relevant_mask))
+        entry = (
             plan.total_cost,
-            self._used_indices(plan),
-            self._plan_indices(plan),
+            universe.encode(self._used_indices(plan)),
+            universe.encode(self._plan_indices(plan)),
         )
-        self._cache[key] = result
-        return result
+        cache[relevant_mask] = entry
+        return entry
+
+    def _lookup_mask(self, statement: Statement, config_mask: int) -> _Entry:
+        self.whatif_calls += 1
+        relevant = config_mask & self._statement_tables_mask(statement)
+        cache = self._statement_cache(statement)
+        entry = cache.get(relevant)
+        if entry is None:
+            entry = self._optimize_relevant(statement, relevant, cache)
+        return entry
+
+    # -- the statement IBG (configuration-parametric costing) -----------------
+
+    def _statement_ibg(
+        self,
+        statement: Statement,
+        union_mask: int,
+        max_nodes: int = 4096,
+        strict: bool = False,
+    ):
+        """The cached IBG of ``statement`` covering ``union_mask``.
+
+        A cached graph is reused whenever its root covers the requested
+        candidates (and, in strict mode, respects ``max_nodes``); otherwise
+        it is rebuilt over the union of both roots (the per-subset plan
+        memo makes the rebuild pay only for new nodes). A build that hits
+        the node cap is memoized so it is not repeated for every covered
+        request; non-strict callers then get None and fall back to direct
+        memoized optimization, strict callers get the RuntimeError.
+        """
+        cached = self._ibg_cache.get(statement)
+        root = union_mask
+        if cached is not None:
+            self._ibg_cache.move_to_end(statement)
+            if union_mask & ~cached.candidates_mask == 0:
+                if not strict or cached.node_count <= max_nodes:
+                    return cached
+                # The cached cover is over this caller's cap: fall through
+                # and build over just the requested root, which may fit.
+            else:
+                root = union_mask | cached.candidates_mask
+        failed = self._ibg_failed.get(statement)
+        # Skip only the *identical* doomed build (same root, no larger cap):
+        # a smaller or different root may well fit under the cap.
+        if failed is not None and root == failed[0] and max_nodes <= failed[1]:
+            if strict:
+                raise RuntimeError(
+                    f"IBG for {statement!r} previously exceeded the node cap"
+                )
+            return None
+        # Imported here: the graph module imports this one at module scope.
+        from ..ibg.graph import build_ibg
+
+        try:
+            graph = build_ibg(
+                self, statement, self._universe.decode(root), max_nodes=max_nodes
+            )
+        except RuntimeError:
+            self._ibg_failed[statement] = (root, max_nodes)
+            self._ibg_failed.move_to_end(statement)
+            while len(self._ibg_failed) > _IBG_CACHE_LIMIT:
+                self._ibg_failed.popitem(last=False)
+            if strict:
+                raise
+            return None
+        # A success covering a previously failed root invalidates the
+        # failure memo (e.g. the failure was at a smaller cap).
+        if failed is not None and failed[0] & ~graph.candidates_mask == 0:
+            self._ibg_failed.pop(statement, None)
+        # Never replace a cached graph with one covering fewer candidates
+        # (possible only via the strict over-cap rebuild above).
+        if cached is None or cached.candidates_mask & ~graph.candidates_mask == 0:
+            self._ibg_cache[statement] = graph
+            self._ibg_cache.move_to_end(statement)
+            while len(self._ibg_cache) > _IBG_CACHE_LIMIT:
+                self._ibg_cache.popitem(last=False)
+        return graph
+
+    def statement_ibg(self, statement: Statement, candidates: AbstractSet[Index],
+                      max_nodes: int = 4096):
+        """The statement's Index Benefit Graph covering ``candidates``.
+
+        Cached per statement and shared with bulk mask costing, so WFIT's
+        candidate-maintenance sweep and the WFA work-function update answer
+        their configuration questions from one graph. Raises
+        :class:`RuntimeError` when the graph exceeds ``max_nodes``.
+        """
+        union = self.relevant_mask(statement, self._universe.encode(candidates))
+        return self._statement_ibg(statement, union, max_nodes=max_nodes, strict=True)
+
+    # -- mask-level interface (the hot path) ----------------------------------
+
+    def statement_costs(self, statement: Statement) -> StatementCosts:
+        """A per-statement mask costing handle (see :class:`StatementCosts`)."""
+        return StatementCosts(self, statement)
+
+    def cost_mask(self, statement: Statement, config_mask: int) -> float:
+        """``cost(q, X)`` with ``X`` encoded in :attr:`mask_universe`."""
+        return self._lookup_mask(statement, config_mask)[0]
+
+    def plan_usage_mask(
+        self, statement: Statement, config_mask: int
+    ) -> Tuple[float, int]:
+        """``(cost, plan-used mask)`` — excludes maintenance-only indices."""
+        entry = self._lookup_mask(statement, config_mask)
+        return entry[0], entry[2]
+
+    # -- frozenset interface (module-boundary shim) ----------------------------
 
     def optimize(
         self, statement: Statement, config: AbstractSet[Index]
     ) -> Tuple[float, FrozenSet[Index]]:
         """``(cost(q, X), used(q, X))`` with caching on the relevant subset."""
-        cost, used, _ = self._lookup(statement, config)
-        return cost, used
+        entry = self._lookup_mask(statement, self._universe.encode(config))
+        return entry[0], self._universe.decode(entry[1])
 
     def plan_usage(
         self, statement: Statement, config: AbstractSet[Index]
     ) -> Tuple[float, FrozenSet[Index]]:
         """``(cost, plan-used)`` — used indices excluding maintenance-only
         ones (those affect the cost additively; see ``maintenance_cost``)."""
-        cost, _, plan_used = self._lookup(statement, config)
-        return cost, plan_used
+        entry = self._lookup_mask(statement, self._universe.encode(config))
+        return entry[0], self._universe.decode(entry[2])
+
+    def cost(self, statement: Statement, config: AbstractSet[Index]) -> float:
+        """``cost(q, X)``: cost of the best plan under configuration ``config``."""
+        return self._lookup_mask(statement, self._universe.encode(config))[0]
 
     def maintenance_cost(self, statement: Statement, index: Index) -> float:
         """Config-independent maintenance charge of ``index`` (0 for reads)."""
@@ -124,10 +362,6 @@ class WhatIfOptimizer:
             cached = self._model.maintenance_cost(statement, index)
             self._maintenance_cache[key] = cached
         return cached
-
-    def cost(self, statement: Statement, config: AbstractSet[Index]) -> float:
-        """``cost(q, X)``: cost of the best plan under configuration ``config``."""
-        return self.optimize(statement, config)[0]
 
     def explain(self, statement: Statement, config: AbstractSet[Index]) -> QueryPlan:
         """The chosen plan (not cached; used for inspection and examples)."""
@@ -145,7 +379,11 @@ class WhatIfOptimizer:
 
         Negative for update statements when ``extra`` incurs maintenance.
         """
-        return self.cost(statement, base) - self.cost(statement, set(base) | set(extra))
+        base_mask = self._universe.encode(base)
+        extra_mask = self._universe.encode(extra)
+        return self.cost_mask(statement, base_mask) - self.cost_mask(
+            statement, base_mask | extra_mask
+        )
 
     def reset_counters(self) -> None:
         self.whatif_calls = 0
@@ -154,3 +392,6 @@ class WhatIfOptimizer:
     def clear_cache(self) -> None:
         self._cache.clear()
         self._maintenance_cache.clear()
+        self._stmt_tables.clear()
+        self._ibg_cache.clear()
+        self._ibg_failed.clear()

@@ -98,3 +98,100 @@ class TestBenefit:
         optimizer = WhatIfOptimizer(toy_stats)
         optimizer.explain(query, frozenset())
         assert optimizer.whatif_calls == 0
+
+
+class TestStatementIBG:
+    """The per-statement IBG cache behind bulk mask costing."""
+
+    def _rich_query(self, toy_stats):
+        amount = toy_stats.column_stats(SALES, "amount")
+        date = toy_stats.column_stats(SALES, "sale_date")
+        return (
+            select(SALES)
+            .where_between("amount", amount.min_value,
+                           amount.min_value + amount.domain_width * 0.05)
+            .where_between("sale_date", date.min_value,
+                           date.min_value + date.domain_width * 0.05)
+            .count_star()
+            .build()
+        )
+
+    def test_statement_ibg_cached_and_grown(self, toy_stats):
+        from repro.optimizer import extract_indices
+
+        optimizer = WhatIfOptimizer(toy_stats)
+        query = self._rich_query(toy_stats)
+        candidates = sorted(extract_indices(query))
+        first = optimizer.statement_ibg(query, frozenset(candidates[:1]))
+        again = optimizer.statement_ibg(query, frozenset(candidates[:1]))
+        assert again is first
+        grown = optimizer.statement_ibg(query, frozenset(candidates))
+        assert grown.candidates >= first.candidates
+
+    def test_statement_ibg_enforces_node_cap(self, toy_stats):
+        from repro.optimizer import extract_indices
+
+        optimizer = WhatIfOptimizer(toy_stats)
+        query = self._rich_query(toy_stats)
+        candidates = frozenset(extract_indices(query))
+        with pytest.raises(RuntimeError):
+            optimizer.statement_ibg(query, candidates, max_nodes=1)
+
+    def test_failed_build_memoized_not_retried(self, toy_stats):
+        from repro.optimizer import extract_indices
+
+        optimizer = WhatIfOptimizer(toy_stats)
+        query = self._rich_query(toy_stats)
+        union = optimizer.relevant_mask(
+            query, optimizer.mask_universe.encode(extract_indices(query))
+        )
+        assert optimizer._statement_ibg(query, union, max_nodes=1) is None
+        spent = optimizer.optimizations
+        # Covered retries answer from the failure memo without re-optimizing.
+        assert optimizer._statement_ibg(query, union, max_nodes=1) is None
+        assert optimizer.optimizations == spent
+
+    def test_bulk_costs_fall_back_when_capped(self, toy_stats):
+        from repro.optimizer import extract_indices
+
+        optimizer = WhatIfOptimizer(toy_stats)
+        query = self._rich_query(toy_stats)
+        universe = optimizer.mask_universe
+        full = universe.encode(extract_indices(query))
+        masks = []
+        sub = full
+        while True:
+            masks.append(sub)
+            if sub == 0:
+                break
+            sub = (sub - 1) & full
+        # As if the build had capped out at the default bulk-costing cap.
+        optimizer._ibg_failed[query] = (full, 4096)
+        costs = optimizer.statement_costs(query).costs(masks)
+        direct = [optimizer.cost_mask(query, mask) for mask in masks]
+        assert costs == direct
+
+    def test_larger_cap_retries_after_failure(self, toy_stats):
+        from repro.optimizer import extract_indices
+
+        optimizer = WhatIfOptimizer(toy_stats)
+        query = self._rich_query(toy_stats)
+        candidates = frozenset(extract_indices(query))
+        with pytest.raises(RuntimeError):
+            optimizer.statement_ibg(query, candidates, max_nodes=1)
+        # A failure at a small cap must not poison builds at a larger cap.
+        graph = optimizer.statement_ibg(query, candidates, max_nodes=4096)
+        assert graph.node_count >= 1
+
+    def test_ibg_cache_is_bounded(self, toy_stats):
+        from repro.optimizer.whatif import _IBG_CACHE_LIMIT
+
+        optimizer = WhatIfOptimizer(toy_stats)
+        amount = toy_stats.column_stats(SALES, "amount")
+        for k in range(_IBG_CACHE_LIMIT + 10):
+            lo = amount.min_value + k  # distinct literals -> distinct statements
+            query = (
+                select(SALES).where_between("amount", lo, lo + 25).count_star().build()
+            )
+            optimizer.statement_ibg(query, frozenset({Index(SALES, ("amount",))}))
+        assert len(optimizer._ibg_cache) <= _IBG_CACHE_LIMIT
