@@ -150,6 +150,10 @@ def main(argv=None) -> int:
                         help="report only; do not enforce the 3x floor")
     parser.add_argument("--no-save", action="store_true",
                         help="do not write benchmarks/results/bench_kernel.json")
+    parser.add_argument("--out", type=str, default=None,
+                        help="result JSON path (default: "
+                        "benchmarks/results/bench_kernel.json; point quick "
+                        "runs elsewhere to keep the committed baseline clean)")
     args = parser.parse_args(argv)
 
     sizes = (4, 8) if args.quick else (4, 8, 12)
@@ -221,7 +225,11 @@ def main(argv=None) -> int:
             "quick": args.quick,
             "rows": rows,
         }
-        out = RESULTS_DIR / "bench_kernel.json"
+        out = (
+            pathlib.Path(args.out) if args.out
+            else RESULTS_DIR / "bench_kernel.json"
+        )
+        out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nsaved {out}")
 

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Service throughput benchmark: shared engine vs independent sessions.
+
+Measures the aggregate statements/sec of N clients with *overlapping*
+workloads served two ways:
+
+* **shared** — one :class:`~repro.service.engine.TuningEngine` (one WFIT
+  core, one what-if optimizer) multiplexing all N sessions through the
+  micro-batched ingest queue. Overlap means each client's statements hit
+  the shared statement/IBG caches warmed by the other clients.
+* **independent** — N legacy-shaped :class:`~repro.advisor.AdvisorSession`
+  objects, each with its own optimizer and tuner (each now a thin client
+  of its own private engine, so per-statement bookkeeping is identical to
+  the shared mode and the ratio isolates cache sharing).
+
+Both modes analyze the same 4×|W| statement stream under the same fixed
+stable partition. The shared engine should win clearly — each plan
+optimization is paid once instead of N times — and the full run enforces
+the ISSUE 2 acceptance floor of 2x.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full run
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from bench_kernel import candidate_pool, chunk_partition
+
+from repro.advisor import AdvisorSession
+from repro.db import StatsTransitionCosts, build_catalog
+from repro.optimizer import WhatIfOptimizer
+from repro.service import TuningEngine
+from repro.workload import MultiClientTrace, generate_workload, scaled_phases
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Acceptance floor (ISSUE 2): shared-engine aggregate statements/sec over
+#: N independent sessions on overlapping workloads.
+SPEEDUP_FLOOR = 2.0
+
+
+def run_shared(stats, partition, trace, batch_size):
+    optimizer = WhatIfOptimizer(stats)
+    engine = TuningEngine(
+        optimizer,
+        StatsTransitionCosts(stats),
+        batch_size=batch_size,
+        fixed_partition=partition,
+    )
+    started = time.perf_counter()
+    engine.submit_many(trace)
+    engine.pump()
+    elapsed = time.perf_counter() - started
+    return elapsed, engine, optimizer
+
+
+def run_independent(stats, partition, clients, statements):
+    sessions = {}
+    optimizers = {}
+    for client in clients:
+        optimizer = WhatIfOptimizer(stats)
+        optimizers[client] = optimizer
+        sessions[client] = AdvisorSession(
+            optimizer,
+            StatsTransitionCosts(stats),
+            fixed_partition=partition,
+        )
+    started = time.perf_counter()
+    for client in clients:
+        sessions[client].execute_many(statements)
+    elapsed = time.perf_counter() - started
+    return elapsed, sessions, optimizers
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: smaller catalog/workload, no floor gate")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale factor (default 0.05)")
+    parser.add_argument("--per-phase", type=int, default=None,
+                        help="statements per phase (default 8, quick 3)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="number of concurrent sessions (default 4)")
+    parser.add_argument("--part-size", type=int, default=4,
+                        help="fixed-partition part size (default 4)")
+    parser.add_argument("--pool-limit", type=int, default=None,
+                        help="candidate pool size (default 4×part-size)")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="shared-engine ingest micro-batch size")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument("--no-check", action="store_true",
+                        help="report only; do not enforce the 2x floor")
+    parser.add_argument("--no-save", action="store_true",
+                        help="do not write benchmarks/results/bench_service.json")
+    parser.add_argument("--out", type=str, default=None,
+                        help="result JSON path (default: "
+                        "benchmarks/results/bench_service.json; point quick "
+                        "runs elsewhere to keep the committed baseline clean)")
+    args = parser.parse_args(argv)
+
+    per_phase = args.per_phase or (3 if args.quick else 8)
+    scale = 0.02 if args.quick and args.scale == 0.05 else args.scale
+
+    print(f"building catalog (scale={scale}) and workload "
+          f"({per_phase} statements/phase, seed={args.seed})…")
+    catalog, stats = build_catalog(scale=scale)
+    workload = generate_workload(
+        catalog, stats, scaled_phases(per_phase), seed=args.seed
+    )
+    statements = list(workload.statements)
+    pool = candidate_pool(statements, limit=args.pool_limit or 4 * args.part_size)
+    partition = chunk_partition(pool, args.part_size)
+    clients = [f"client-{i}" for i in range(args.clients)]
+    # Overlapping workloads: every client streams the same statements; the
+    # shared engine sees them round-robin interleaved.
+    trace = MultiClientTrace.round_robin(
+        {client: statements for client in clients}
+    )
+    total = len(trace)
+
+    shared_s, engine, shared_opt = run_shared(
+        stats, partition, trace, args.batch_size
+    )
+    indep_s, sessions, indep_opts = run_independent(
+        stats, partition, clients, statements
+    )
+
+    shared_stats = shared_opt.cache_stats()
+    indep_optimizations = sum(o.optimizations for o in indep_opts.values())
+    recs = {c: sessions[c].tuner.recommend() for c in clients}
+    independents_agree = len(set(map(frozenset, recs.values()))) == 1
+
+    result = {
+        "scale": scale,
+        "per_phase": per_phase,
+        "seed": args.seed,
+        "quick": args.quick,
+        "clients": args.clients,
+        "part_size": args.part_size,
+        "batch_size": args.batch_size,
+        "statements_per_client": len(statements),
+        "total_statements": total,
+        "shared": {
+            "elapsed_seconds": shared_s,
+            "stmts_per_sec": total / shared_s,
+            "optimizations": shared_stats["optimizations"],
+            "statement_hit_rate": shared_stats["statement_hit_rate"],
+            "ibg_hit_rate": shared_stats["ibg_hit_rate"],
+            "batches": engine.batches_processed,
+        },
+        "independent": {
+            "elapsed_seconds": indep_s,
+            "stmts_per_sec": total / indep_s,
+            "optimizations": indep_optimizations,
+            "sessions_agree": independents_agree,
+        },
+        "speedup": indep_s / shared_s,
+    }
+
+    print()
+    print(f"{args.clients} overlapping sessions × {len(statements)} statements "
+          f"({total} total), part size {args.part_size}")
+    print(f"{'mode':<12} {'st/s':>10} {'elapsed':>9} {'whatif opts':>12}")
+    print("-" * 46)
+    print(f"{'shared':<12} {result['shared']['stmts_per_sec']:>10.1f} "
+          f"{shared_s:>8.2f}s {result['shared']['optimizations']:>12}")
+    print(f"{'independent':<12} {result['independent']['stmts_per_sec']:>10.1f} "
+          f"{indep_s:>8.2f}s {indep_optimizations:>12}")
+    print(f"speedup {result['speedup']:.2f}x; shared statement-cache hit rate "
+          f"{shared_stats['statement_hit_rate']:.2f}")
+
+    if not args.no_save:
+        out = (
+            pathlib.Path(args.out) if args.out
+            else RESULTS_DIR / "bench_service.json"
+        )
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"saved {out}")
+
+    if not independents_agree:
+        print("FAIL: independent sessions diverged (determinism bug)")
+        return 1
+    if not args.quick and not args.no_check:
+        if result["speedup"] < SPEEDUP_FLOOR:
+            print(f"FAIL: shared-engine speedup {result['speedup']:.2f}x "
+                  f"< {SPEEDUP_FLOOR}x floor")
+            return 1
+        print(f"shared-engine speedup {result['speedup']:.2f}x "
+              f"≥ {SPEEDUP_FLOOR}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,14 @@ from .db import (
 from .ibg import IndexBenefitGraph, build_ibg, degree_of_interaction, max_benefit
 from .optimizer import CostModelConfig, WhatIfOptimizer, extract_indices
 from .query import parse_statement, select, to_sql, update
-from .workload import DEFAULT_PHASES, Workload, generate_workload, scaled_phases
+from .service import ClientSession, SessionEvent, TuningEngine
+from .workload import (
+    DEFAULT_PHASES,
+    MultiClientTrace,
+    Workload,
+    generate_workload,
+    scaled_phases,
+)
 
 __version__ = "1.0.0"
 
@@ -52,17 +59,21 @@ __all__ = [
     "AdvisorSession",
     "BC",
     "Catalog",
+    "ClientSession",
     "CostModelConfig",
     "DEFAULT_PHASES",
     "FeedbackEvent",
     "FixedPartitionResult",
     "Index",
     "IndexBenefitGraph",
+    "MultiClientTrace",
     "OfflineOptimizer",
     "OptimalSchedule",
+    "SessionEvent",
     "StatsRepository",
     "StatsTransitionCosts",
     "TransitionCosts",
+    "TuningEngine",
     "TuningResult",
     "WFA",
     "WFAPlus",

@@ -13,6 +13,14 @@ any time. :class:`AdvisorSession` packages the library the same way:
   materialized set and forwards the implicit votes (§3.1).
 * ``history()`` — an audit log of everything that happened.
 
+Since the service layer landed, ``AdvisorSession`` is a *thin client* of a
+:class:`~repro.service.engine.TuningEngine`: by default it owns a private
+single-client engine (the legacy in-process shape — identical
+recommendations and feedback semantics; see :meth:`overhead` for the one
+counter-level difference), but :meth:`AdvisorSession.for_engine` attaches
+the same API to a shared multi-session engine, where many advisors ride
+one WFIT core and one what-if cache.
+
 Example
 -------
 >>> from repro import build_toy_catalog
@@ -25,9 +33,7 @@ Example
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Tuple, Union
 
 from .core.wfit import WFIT
 from .db.index import Index
@@ -35,51 +41,17 @@ from .db.stats import StatsRepository
 from .db.transitions import StatsTransitionCosts
 from .optimizer.whatif import WhatIfOptimizer
 from .query.ast import Statement
-from .query.parser import parse_statement, to_sql
+from .service.engine import Recommendation, SessionEvent, TuningEngine
 
 __all__ = ["AdvisorSession", "AdvisorEvent", "Recommendation"]
 
-
-@dataclass(frozen=True)
-class AdvisorEvent:
-    """One entry of the session's audit log."""
-
-    kind: str          # "statement" | "vote" | "create" | "drop" | "recommendation"
-    detail: str
-    position: int      # statements analyzed when the event happened
-
-
-@dataclass(frozen=True)
-class Recommendation:
-    """A point-in-time recommendation, diffed against the materialized set."""
-
-    recommended: FrozenSet[Index]
-    materialized: FrozenSet[Index]
-
-    @property
-    def to_create(self) -> Tuple[Index, ...]:
-        return tuple(sorted(self.recommended - self.materialized))
-
-    @property
-    def to_drop(self) -> Tuple[Index, ...]:
-        return tuple(sorted(self.materialized - self.recommended))
-
-    def statements(self) -> List[str]:
-        """DDL the DBA would run to adopt the recommendation."""
-        out = [
-            f"CREATE INDEX {ix.name} ON {ix.table} ({', '.join(ix.columns)})"
-            for ix in self.to_create
-        ]
-        out.extend(f"DROP INDEX {ix.name}" for ix in self.to_drop)
-        return out
-
-    @property
-    def is_adopted(self) -> bool:
-        return self.recommended == self.materialized
+#: Audit-log entries are the service layer's session events; the historical
+#: name is kept for callers of the pre-service API.
+AdvisorEvent = SessionEvent
 
 
 class AdvisorSession:
-    """Stateful semi-automatic tuning session around one WFIT instance."""
+    """Stateful semi-automatic tuning session: a client of a TuningEngine."""
 
     def __init__(
         self,
@@ -88,15 +60,14 @@ class AdvisorSession:
         materialized: AbstractSet[Index] = frozenset(),
         **wfit_options,
     ) -> None:
-        self._optimizer = optimizer
-        self._transitions = transitions
-        self._materialized: set = set(materialized)
-        self._tuner = WFIT(
-            optimizer, transitions, initial_config=frozenset(materialized),
+        engine = TuningEngine(
+            optimizer,
+            transitions,
+            materialized=frozenset(materialized),
             **wfit_options,
         )
-        self._events: List[AdvisorEvent] = []
-        self._statements_seen = 0
+        self._engine = engine
+        self._client = engine.session("dba")
 
     @classmethod
     def for_stats(
@@ -107,6 +78,21 @@ class AdvisorSession:
         transitions = StatsTransitionCosts(stats)
         return cls(optimizer, transitions, **wfit_options)
 
+    @classmethod
+    def for_engine(
+        cls, engine: TuningEngine, client_id: str = "dba"
+    ) -> "AdvisorSession":
+        """Attach a session to a shared engine as ``client_id``.
+
+        Many sessions can share one engine: they see one recommendation,
+        one materialized set, and one what-if cache, but keep per-client
+        audit logs and statement counters.
+        """
+        session = cls.__new__(cls)
+        session._engine = engine
+        session._client = engine.session(client_id)
+        return session
+
     # -- workload interception -------------------------------------------------
 
     def execute(self, statement: Union[str, Statement]) -> Statement:
@@ -115,77 +101,41 @@ class AdvisorSession:
         In a real deployment this is where the statement would also be
         forwarded to the database for execution.
         """
-        parsed = (
-            parse_statement(statement) if isinstance(statement, str) else statement
-        )
-        self._tuner.analyze_statement(parsed)
-        self._statements_seen += 1
-        self._log("statement", to_sql(parsed))
-        return parsed
+        return self._client.execute(statement)
 
     def execute_many(self, statements: Iterable[Union[str, Statement]]) -> int:
         """Intercept a batch; returns how many statements were analyzed."""
-        count = 0
-        for statement in statements:
-            self.execute(statement)
-            count += 1
-        return count
+        return self._client.execute_many(statements)
 
     # -- recommendations and feedback ---------------------------------------------
 
     def recommendation(self) -> Recommendation:
         """The current recommendation, diffed against the materialized set."""
-        rec = Recommendation(
-            recommended=self._tuner.recommend(),
-            materialized=frozenset(self._materialized),
-        )
-        self._log(
-            "recommendation",
-            f"create={len(rec.to_create)} drop={len(rec.to_drop)}",
-        )
-        return rec
+        return self._client.recommendation()
 
     def vote_up(self, *indices: Index) -> FrozenSet[Index]:
         """Explicit positive votes; returns the adjusted recommendation."""
-        rec = self._tuner.feedback(frozenset(indices), frozenset())
-        self._log("vote", "+" + ", +".join(ix.name for ix in indices))
-        return rec
+        return self._client.vote_up(*indices)
 
     def vote_down(self, *indices: Index) -> FrozenSet[Index]:
         """Explicit negative votes; returns the adjusted recommendation."""
-        rec = self._tuner.feedback(frozenset(), frozenset(indices))
-        self._log("vote", "-" + ", -".join(ix.name for ix in indices))
-        return rec
+        return self._client.vote_down(*indices)
 
     def vote(
         self, f_plus: AbstractSet[Index], f_minus: AbstractSet[Index]
     ) -> FrozenSet[Index]:
         """Simultaneous votes, as in the paper's feedback model."""
-        rec = self._tuner.feedback(frozenset(f_plus), frozenset(f_minus))
-        self._log(
-            "vote",
-            "+{" + ", ".join(ix.name for ix in sorted(f_plus)) + "} "
-            "-{" + ", ".join(ix.name for ix in sorted(f_minus)) + "}",
-        )
-        return rec
+        return self._client.vote(f_plus, f_minus)
 
     # -- DBA actions (implicit feedback) ----------------------------------------------
 
     def create_index(self, index: Index) -> None:
         """The DBA materializes an index; WFIT learns via an implicit +vote."""
-        if index in self._materialized:
-            raise ValueError(f"{index.name} is already materialized")
-        self._materialized.add(index)
-        self._tuner.notify_materialized(created={index}, dropped=frozenset())
-        self._log("create", index.name)
+        self._client.create_index(index)
 
     def drop_index(self, index: Index) -> None:
         """The DBA drops an index; WFIT learns via an implicit −vote."""
-        if index not in self._materialized:
-            raise ValueError(f"{index.name} is not materialized")
-        self._materialized.discard(index)
-        self._tuner.notify_materialized(created=frozenset(), dropped={index})
-        self._log("drop", index.name)
+        self._client.drop_index(index)
 
     def adopt(self) -> Tuple[Tuple[Index, ...], Tuple[Index, ...]]:
         """Adopt the current recommendation wholesale.
@@ -193,45 +143,46 @@ class AdvisorSession:
         Returns ``(created, dropped)``. Equivalent to the lagged-DBA
         acceptance of Figure 11 (with its lease-renewing implicit votes).
         """
-        rec = self._tuner.recommend()
-        created = tuple(sorted(rec - self._materialized))
-        dropped = tuple(sorted(self._materialized - rec))
-        self._materialized = set(rec)
-        self._tuner.feedback(rec, frozenset(dropped))
-        for index in created:
-            self._log("create", index.name)
-        for index in dropped:
-            self._log("drop", index.name)
-        return created, dropped
+        return self._client.adopt()
 
     # -- introspection ---------------------------------------------------------------
 
     @property
+    def engine(self) -> TuningEngine:
+        """The engine this session is a client of."""
+        return self._engine
+
+    @property
     def materialized(self) -> FrozenSet[Index]:
-        return frozenset(self._materialized)
+        return self._engine.materialized
 
     @property
     def statements_seen(self) -> int:
-        return self._statements_seen
+        return self._client.statements_processed
 
     @property
     def tuner(self) -> WFIT:
-        return self._tuner
+        return self._engine.tuner
 
     def history(self) -> Tuple[AdvisorEvent, ...]:
-        return tuple(self._events)
+        return self._client.history()
 
     def overhead(self) -> Dict[str, float]:
-        """What-if accounting for the session so far."""
+        """What-if accounting for the session's engine so far.
+
+        Counts *all* optimizer traffic, including the engine's per-statement
+        totWork-accounting lookup (one extra, almost always memo-hitting
+        ``cost`` call per statement that the pre-service ``AdvisorSession``
+        did not make), so absolute counter values are slightly higher than
+        in the pre-service releases; the machine-independent
+        ``optimizations``-dominated trend is unchanged.
+        """
+        optimizer = self._engine.optimizer
+        seen = self.statements_seen
         return {
-            "whatif_calls": float(self._optimizer.whatif_calls),
-            "optimizations": float(self._optimizer.optimizations),
+            "whatif_calls": float(optimizer.whatif_calls),
+            "optimizations": float(optimizer.optimizations),
             "per_statement": (
-                self._optimizer.optimizations / self._statements_seen
-                if self._statements_seen
-                else 0.0
+                optimizer.optimizations / seen if seen else 0.0
             ),
         }
-
-    def _log(self, kind: str, detail: str) -> None:
-        self._events.append(AdvisorEvent(kind, detail, self._statements_seen))

@@ -260,29 +260,36 @@ def overhead_table(context: ExperimentContext) -> FigureResult:
         description="per-statement overhead (ms and what-if optimizations)",
     )
     n_statements = len(context.statements)
-    for state_cnt in sorted(context.partitions, reverse=True):
-        context.optimizer.clear_cache()
-        wfit = _fresh_wfit(context, state_cnt)
-        _, run = _run_and_ratio(context, wfit)
-        label = f"WFIT-{state_cnt}"
-        result.add_curve(label, {
+
+    def _overhead_curve(run: TuningResult) -> Dict[int, float]:
+        # Counters were reset before the run, so the optimizer's derived
+        # hit rates are this run's rates.
+        cache = context.optimizer.cache_stats()
+        return {
             1: run.wall_time_seconds * 1000.0 / n_statements,   # ms/stmt
             2: run.optimizations / n_statements,                # optimizations/stmt
             3: run.whatif_calls / n_statements,                 # cost lookups/stmt
-        })
+            4: cache["statement_hit_rate"],                     # stmt-memo hit rate
+            5: cache["ibg_hit_rate"],                           # IBG-cache hit rate
+        }
+
+    for state_cnt in sorted(context.partitions, reverse=True):
+        context.optimizer.clear_cache()
+        context.optimizer.reset_counters()
+        wfit = _fresh_wfit(context, state_cnt)
+        _, run = _run_and_ratio(context, wfit)
+        result.add_curve(f"WFIT-{state_cnt}", _overhead_curve(run))
     context.optimizer.clear_cache()
+    context.optimizer.reset_counters()
     auto = WFIT(
         context.optimizer, context.transitions, idx_cnt=40,
         state_cnt=_default_state_cnt(context), seed=1,
     )
     _, run = _run_and_ratio(context, auto)
-    result.add_curve("WFIT-AUTO", {
-        1: run.wall_time_seconds * 1000.0 / n_statements,
-        2: run.optimizations / n_statements,
-        3: run.whatif_calls / n_statements,
-    })
+    result.add_curve("WFIT-AUTO", _overhead_curve(run))
     result.notes.append(
         "columns: q=1 → ms per statement; q=2 → optimizer plan "
-        "optimizations per statement; q=3 → cached cost lookups per statement"
+        "optimizations per statement; q=3 → cached cost lookups per statement; "
+        "q=4 → what-if statement-cache hit rate; q=5 → IBG graph-cache hit rate"
     )
     return result

@@ -223,6 +223,29 @@ class IndexUniverse:
             mask |= table_masks.get(table, 0)
         return mask
 
+    # -- checkpoint hooks ----------------------------------------------------
+
+    def export_order(self) -> Tuple[Index, ...]:
+        """The registered indices in bit-position order (checkpoint hook).
+
+        Replaying this sequence through :meth:`extend_order` reproduces the
+        exact bit assignment, so masks (and mask-keyed cache layouts)
+        serialized at checkpoint time stay meaningful after restore.
+        """
+        return tuple(self._indices)
+
+    def extend_order(self, indices: Iterable[Index]) -> None:
+        """Register ``indices`` sequentially (the restore hook).
+
+        Unlike the constructor — which sorts its seed batch — this
+        registers in the given order: replaying an :meth:`export_order`
+        sequence into a fresh universe reproduces the exact bit
+        assignment (and hence mask-keyed cache layout) recorded at
+        checkpoint time. Already-registered indices keep their position.
+        """
+        for index in indices:
+            self.ensure(index)
+
     # -- mask predicates (free functions of the encoding) -------------------
 
     @staticmethod

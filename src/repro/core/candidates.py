@@ -45,6 +45,19 @@ class RecencyStatistic:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def export_state(self) -> List[List[float]]:
+        """JSON-ready ``[position, value]`` pairs, oldest first."""
+        return [[position, value] for position, value in self._entries]
+
+    @classmethod
+    def from_state(
+        cls, hist_size: int, entries: Iterable[Tuple[int, float]]
+    ) -> "RecencyStatistic":
+        stat = cls(hist_size)
+        for position, value in entries:
+            stat.record(int(position), float(value))
+        return stat
+
     def current(self, now: int) -> float:
         """The LRU-K style current value after ``now`` observed statements.
 
@@ -113,6 +126,47 @@ class IndexStatistics:
 
     def tracked_indices(self) -> FrozenSet[Index]:
         return frozenset(self._benefits)
+
+    # -- checkpoint hooks ----------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-ready snapshot of ``idxStats`` and ``intStats``.
+
+        Entries are sorted by index so the document is deterministic.
+        """
+        return {
+            "hist_size": self._hist_size,
+            "benefits": [
+                {"index": index.to_payload(), "entries": stat.export_state()}
+                for index, stat in sorted(self._benefits.items())
+            ],
+            "interactions": [
+                {
+                    "a": key[0].to_payload(),
+                    "b": key[1].to_payload(),
+                    "entries": stat.export_state(),
+                }
+                for key, stat in sorted(self._interactions.items())
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "IndexStatistics":
+        hist_size = int(state["hist_size"])
+        statistics = cls(hist_size)
+        for item in state["benefits"]:
+            index = Index.from_payload(item["index"])
+            statistics._benefits[index] = RecencyStatistic.from_state(
+                hist_size, item["entries"]
+            )
+        for item in state["interactions"]:
+            key = _pair_key(
+                Index.from_payload(item["a"]), Index.from_payload(item["b"])
+            )
+            statistics._interactions[key] = RecencyStatistic.from_state(
+                hist_size, item["entries"]
+            )
+        return statistics
 
     def doi_lookup(self, now: int):
         """A ``doi(a, b) -> float`` callable bound to position ``now``."""

@@ -238,6 +238,39 @@ class WFA:
         """Snapshot of ``w[S]`` for every configuration (for repartitioning)."""
         return {self._set_of(mask): self._w[mask] for mask in range(self._size)}
 
+    # -- checkpoint hooks ----------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """JSON-ready mutable state (checkpoint hook).
+
+        Work-function values are exported by *local mask*; the mask
+        positions are defined by the part's sorted index order, which is
+        deterministic, so a peer constructed over the same index set
+        decodes them identically. The part's indices themselves are
+        serialized by the owner (WFIT), not here.
+        """
+        return {
+            "w": list(self._w),
+            "recommendation_mask": self._rec,
+            "statements_analyzed": self._statements_analyzed,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Adopt state exported by :meth:`export_state` from a peer with the
+        same index set."""
+        w = [float(v) for v in state["w"]]
+        if len(w) != self._size:
+            raise ValueError(
+                f"work-function snapshot has {len(w)} values; this part "
+                f"tracks {self._size} configurations"
+            )
+        rec = int(state["recommendation_mask"])
+        if not 0 <= rec < self._size:
+            raise ValueError(f"recommendation mask {rec} outside the part")
+        self._w = w
+        self._rec = rec
+        self._statements_analyzed = int(state["statements_analyzed"])
+
     def work_value(self, subset: AbstractSet[Index]) -> float:
         return self._w[self._mask_of(subset)]
 

@@ -313,3 +313,109 @@ class WFIT:
         """Implicit feedback: the DBA changed the physical configuration
         out-of-band (§3.1). Creates count as positive votes, drops negative."""
         return self.feedback(created, dropped)
+
+    # -- checkpoint hooks ----------------------------------------------------
+
+    #: Format version of :meth:`export_state` documents.
+    STATE_VERSION = 1
+
+    def export_state(self) -> Dict[str, object]:
+        """The tuner's full mutable state as a JSON-ready document.
+
+        Captures everything a peer needs to continue step-identically:
+        the partition and per-part work-function values, candidate
+        benefit/interaction statistics, the universe U, the randomized
+        partitioner's RNG state, and the construction knobs. Restore with
+        :meth:`restore_state` against an equivalent optimizer/δ provider.
+        """
+        rng_version, rng_internal, rng_gauss = self._rng.getstate()
+        return {
+            "version": self.STATE_VERSION,
+            "auto": self._auto,
+            "statements_analyzed": self._n,
+            "repartition_count": self.repartition_count,
+            "options": {
+                "idx_cnt": self.idx_cnt,
+                "state_cnt": self.state_cnt,
+                "hist_size": self.hist_size,
+                "rand_cnt": self.rand_cnt,
+                "assume_independence": self.assume_independence,
+                "create_penalty_factor": self.create_penalty_factor,
+                "partition_refresh_period": self.partition_refresh_period,
+                "max_ibg_nodes": self._max_ibg_nodes,
+            },
+            "initial_config": [
+                ix.to_payload() for ix in sorted(self._initial_config)
+            ],
+            "universe": [ix.to_payload() for ix in sorted(self._universe)],
+            "rng_state": [rng_version, list(rng_internal), rng_gauss],
+            "statistics": self.statistics.export_state(),
+            "parts": [
+                {
+                    "indices": [ix.to_payload() for ix in sorted(part)],
+                    "state": instance.export_state(),
+                }
+                for part, instance in zip(self._parts, self._instances)
+            ],
+        }
+
+    @classmethod
+    def restore_state(
+        cls, optimizer: WhatIfOptimizer, transitions, state: Dict[str, object]
+    ) -> "WFIT":
+        """Rebuild a tuner from an :meth:`export_state` document.
+
+        The optimizer and δ provider must be equivalent to the originals
+        (same cost model and statistics): costs are deterministic functions
+        of ``(statement, configuration)``, so an equivalent substrate plus
+        this state yields step-identical recommendations.
+        """
+        version = state.get("version")
+        if version != cls.STATE_VERSION:
+            raise ValueError(
+                f"unsupported WFIT state version {version!r} "
+                f"(expected {cls.STATE_VERSION})"
+            )
+        options = state["options"]
+        initial = frozenset(
+            Index.from_payload(p) for p in state["initial_config"]
+        )
+        parts = [
+            frozenset(Index.from_payload(p) for p in item["indices"])
+            for item in state["parts"]
+        ]
+        auto = bool(state["auto"])
+        tuner = cls(
+            optimizer,
+            transitions,
+            initial_config=initial,
+            idx_cnt=int(options["idx_cnt"]),
+            state_cnt=int(options["state_cnt"]),
+            hist_size=int(options["hist_size"]),
+            rand_cnt=int(options["rand_cnt"]),
+            fixed_partition=None if auto else parts,
+            assume_independence=bool(options["assume_independence"]),
+            max_ibg_nodes=int(options["max_ibg_nodes"]),
+            create_penalty_factor=options["create_penalty_factor"],
+            partition_refresh_period=int(options["partition_refresh_period"]),
+        )
+        tuner._auto = auto
+        tuner._n = int(state["statements_analyzed"])
+        tuner.repartition_count = int(state["repartition_count"])
+        tuner._universe = {
+            Index.from_payload(p) for p in state["universe"]
+        }
+        tuner.statistics = IndexStatistics.from_state(state["statistics"])
+        rng_version, rng_internal, rng_gauss = state["rng_state"]
+        tuner._rng.setstate(
+            (int(rng_version), tuple(int(v) for v in rng_internal), rng_gauss)
+        )
+        tuner._parts = list(parts)
+        tuner._instances = []
+        for part, item in zip(parts, state["parts"]):
+            instance = WFA(
+                sorted(part), initial & part, tuner._cost_fn, transitions
+            )
+            instance.load_state(item["state"])
+            tuner._instances.append(instance)
+        return tuner

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from .stats import PAGE_SIZE, StatsRepository
 
@@ -54,6 +54,19 @@ class Index:
         """Whether every column in ``needed`` is stored in the index key."""
         key = set(self.columns)
         return all(col in key for col in needed)
+
+    # -- checkpoint payloads ------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready representation, for checkpoint documents."""
+        return {"table": self.table, "columns": list(self.columns)}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "Index":
+        return cls(
+            table=str(payload["table"]),
+            columns=tuple(str(c) for c in payload["columns"]),
+        )
 
     def __str__(self) -> str:
         return f"{self.table}({', '.join(self.columns)})"

@@ -96,6 +96,7 @@ class StatementCosts:
         if union.bit_count() >= _IBG_MIN_UNION_BITS and len(config_masks) > 4:
             graph = optimizer._statement_ibg(statement, union)
             if graph is not None:
+                optimizer._ibg_mask_costs += len(config_masks)
                 cost_mask = graph.cost_mask
                 return [cost_mask(mask & tables_mask) for mask in config_masks]
         cache = self._cache
@@ -106,6 +107,8 @@ class StatementCosts:
             entry = cache.get(relevant)
             if entry is None:
                 entry = optimizer._optimize_relevant(statement, relevant, cache)
+            else:
+                optimizer._stmt_hits += 1
             append(entry[0])
         return out
 
@@ -134,6 +137,15 @@ class WhatIfOptimizer:
         self._ibg_failed: "OrderedDict[Statement, Tuple[int, int]]" = OrderedDict()
         self.whatif_calls = 0
         self.optimizations = 0
+        # Observability counters behind cache_stats(): hit/miss/eviction
+        # accounting for the statement memo and the IBG cache.
+        self._stmt_hits = 0
+        self._stmt_misses = 0
+        self._stmt_evictions = 0
+        self._ibg_graph_hits = 0
+        self._ibg_graph_builds = 0
+        self._ibg_evictions = 0
+        self._ibg_mask_costs = 0
 
     @property
     def cost_model(self) -> CostModel:
@@ -208,6 +220,7 @@ class WhatIfOptimizer:
             cache = self._cache[statement] = {}
             while len(self._cache) > _STMT_CACHE_LIMIT:
                 self._cache.popitem(last=False)
+                self._stmt_evictions += 1
         return cache
 
     def _optimize_relevant(
@@ -218,6 +231,7 @@ class WhatIfOptimizer:
     ) -> _Entry:
         """Cache miss: run the actual plan optimization and intern masks."""
         self.optimizations += 1
+        self._stmt_misses += 1
         universe = self._universe
         plan = self._model.explain(statement, universe.decode(relevant_mask))
         entry = (
@@ -235,6 +249,8 @@ class WhatIfOptimizer:
         entry = cache.get(relevant)
         if entry is None:
             entry = self._optimize_relevant(statement, relevant, cache)
+        else:
+            self._stmt_hits += 1
         return entry
 
     # -- the statement IBG (configuration-parametric costing) -----------------
@@ -262,6 +278,7 @@ class WhatIfOptimizer:
             self._ibg_cache.move_to_end(statement)
             if union_mask & ~cached.candidates_mask == 0:
                 if not strict or cached.node_count <= max_nodes:
+                    self._ibg_graph_hits += 1
                     return cached
                 # The cached cover is over this caller's cap: fall through
                 # and build over just the requested root, which may fit.
@@ -283,6 +300,7 @@ class WhatIfOptimizer:
             graph = build_ibg(
                 self, statement, self._universe.decode(root), max_nodes=max_nodes
             )
+            self._ibg_graph_builds += 1
         except RuntimeError:
             self._ibg_failed[statement] = (root, max_nodes)
             self._ibg_failed.move_to_end(statement)
@@ -302,6 +320,7 @@ class WhatIfOptimizer:
             self._ibg_cache.move_to_end(statement)
             while len(self._ibg_cache) > _IBG_CACHE_LIMIT:
                 self._ibg_cache.popitem(last=False)
+                self._ibg_evictions += 1
         return graph
 
     def statement_ibg(self, statement: Statement, candidates: AbstractSet[Index],
@@ -385,9 +404,47 @@ class WhatIfOptimizer:
             statement, base_mask | extra_mask
         )
 
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters for the statement and IBG caches.
+
+        ``statement_*`` accounts the per-statement cost memo (a hit is a
+        costing request answered without a plan optimization, excluding
+        those answered by an IBG walk); ``ibg_*`` accounts the per-statement
+        Index Benefit Graph cache, with ``ibg_mask_costs`` counting the
+        configuration costs answered by graph walks. Hit rates are derived;
+        they are 0.0 while no requests have been observed. Counters are
+        cumulative since construction or :meth:`reset_counters`.
+        """
+        stmt_lookups = self._stmt_hits + self._stmt_misses
+        ibg_requests = self._ibg_graph_hits + self._ibg_graph_builds
+        return {
+            "statement_hits": self._stmt_hits,
+            "statement_misses": self._stmt_misses,
+            "statement_evictions": self._stmt_evictions,
+            "statement_hit_rate": (
+                self._stmt_hits / stmt_lookups if stmt_lookups else 0.0
+            ),
+            "ibg_graph_hits": self._ibg_graph_hits,
+            "ibg_graph_builds": self._ibg_graph_builds,
+            "ibg_evictions": self._ibg_evictions,
+            "ibg_hit_rate": (
+                self._ibg_graph_hits / ibg_requests if ibg_requests else 0.0
+            ),
+            "ibg_mask_costs": self._ibg_mask_costs,
+            "whatif_calls": self.whatif_calls,
+            "optimizations": self.optimizations,
+        }
+
     def reset_counters(self) -> None:
         self.whatif_calls = 0
         self.optimizations = 0
+        self._stmt_hits = 0
+        self._stmt_misses = 0
+        self._stmt_evictions = 0
+        self._ibg_graph_hits = 0
+        self._ibg_graph_builds = 0
+        self._ibg_evictions = 0
+        self._ibg_mask_costs = 0
 
     def clear_cache(self) -> None:
         self._cache.clear()

@@ -1,0 +1,31 @@
+"""The multi-session tuning service layer.
+
+Deployment-shaped packaging of the WFIT library: a
+:class:`~repro.service.engine.TuningEngine` multiplexes many concurrent
+client sessions over one shared WFIT core and one shared what-if optimizer
+(micro-batched single-writer ingest), with per-client audit logs and
+vote/materialization routing, versioned JSON checkpoint/restore
+(:mod:`repro.service.snapshot`), and a replay CLI
+(``python -m repro.service``).
+"""
+
+from .engine import ClientSession, Recommendation, SessionEvent, TuningEngine
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    checkpoint_engine,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+)
+
+__all__ = [
+    "ClientSession",
+    "Recommendation",
+    "SNAPSHOT_VERSION",
+    "SessionEvent",
+    "TuningEngine",
+    "checkpoint_engine",
+    "load_checkpoint",
+    "restore_engine",
+    "save_checkpoint",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — the trace replay / checkpoint-resume CLI."""
+
+from .replay import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,558 @@
+"""The multi-session tuning engine: one WFIT core, many clients.
+
+The paper's §6 prototype is *middleware*: it sits between live clients and
+the database, intercepts SQL, and lets any DBA pull recommendations and
+push feedback at any time. :class:`TuningEngine` packages the library that
+way for concurrent traffic:
+
+* **Micro-batched ingest** — clients :meth:`~TuningEngine.submit`
+  statements into a shared queue; a single writer drains it in batches
+  (``batch_size`` statements per lock acquisition) through the one shared
+  :class:`~repro.core.wfit.WFIT` instance. :meth:`~TuningEngine.pump` is
+  the deterministic synchronous drain (what tests and the replay CLI use);
+  :meth:`~TuningEngine.start` runs the same loop on a background thread.
+* **Shared caches** — every session's statements flow through one
+  :class:`~repro.optimizer.whatif.WhatIfOptimizer`, so overlapping
+  workloads pay for each plan optimization once
+  (:meth:`~repro.optimizer.whatif.WhatIfOptimizer.cache_stats` exposes the
+  hit rates; ``benchmarks/bench_service.py`` measures the win).
+* **Session routing** — each client gets its own audit log; votes and
+  DBA materialization actions are routed from any client to the shared
+  core and recorded against the acting client.
+* **totWork accounting** — the engine accounts the §3.1 metric under
+  immediate adoption, which checkpoint/restore preserves so a restored
+  engine's trajectory is comparable to the uninterrupted one.
+
+Checkpoint/restore lives in :mod:`repro.service.snapshot`;
+:meth:`TuningEngine.checkpoint` and :meth:`TuningEngine.restore` are the
+entry points.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from ..core.wfit import WFIT
+from ..db.index import Index
+from ..optimizer.whatif import WhatIfOptimizer
+from ..query.ast import Statement
+from ..query.parser import parse_statement, to_sql
+
+__all__ = [
+    "ClientSession",
+    "Recommendation",
+    "SessionEvent",
+    "TuningEngine",
+]
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One entry of a client's audit log."""
+
+    kind: str          # "statement" | "vote" | "create" | "drop" | "recommendation"
+    detail: str
+    position: int      # client statements processed when the event happened
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A point-in-time recommendation, diffed against the materialized set."""
+
+    recommended: FrozenSet[Index]
+    materialized: FrozenSet[Index]
+
+    @property
+    def to_create(self) -> Tuple[Index, ...]:
+        return tuple(sorted(self.recommended - self.materialized))
+
+    @property
+    def to_drop(self) -> Tuple[Index, ...]:
+        return tuple(sorted(self.materialized - self.recommended))
+
+    def statements(self) -> List[str]:
+        """DDL the DBA would run to adopt the recommendation."""
+        out = [
+            f"CREATE INDEX {ix.name} ON {ix.table} ({', '.join(ix.columns)})"
+            for ix in self.to_create
+        ]
+        out.extend(f"DROP INDEX {ix.name}" for ix in self.to_drop)
+        return out
+
+    @property
+    def is_adopted(self) -> bool:
+        return self.recommended == self.materialized
+
+
+class _ClientState:
+    """Engine-internal per-client bookkeeping."""
+
+    __slots__ = ("client_id", "submitted", "processed", "events")
+
+    def __init__(self, client_id: str) -> None:
+        self.client_id = client_id
+        self.submitted = 0
+        self.processed = 0
+        self.events: List[SessionEvent] = []
+
+
+class TuningEngine:
+    """Multiplexes many client sessions over one shared WFIT core."""
+
+    def __init__(
+        self,
+        optimizer: WhatIfOptimizer,
+        transitions,
+        materialized: AbstractSet[Index] = frozenset(),
+        batch_size: int = 32,
+        **wfit_options,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._optimizer = optimizer
+        self._transitions = transitions
+        self._tuner = WFIT(
+            optimizer, transitions, initial_config=frozenset(materialized),
+            **wfit_options,
+        )
+        self._materialized: set = set(materialized)
+        self.batch_size = batch_size
+
+        # Ingest: the submission queue is guarded by _ingest_lock (held only
+        # for O(1) queue ops); _pump_lock serializes the single writer that
+        # may touch the tuner. _wakeup signals the background drain thread.
+        self._queue: Deque[Tuple[str, Statement]] = deque()
+        self._ingest_lock = threading.Lock()
+        self._pump_lock = threading.RLock()
+        self._wakeup = threading.Condition(self._ingest_lock)
+        self._thread: Optional[threading.Thread] = None
+        self._stop_flag = threading.Event()
+
+        self._clients: Dict[str, _ClientState] = {}
+        self._statements_processed = 0
+        self._batches_processed = 0
+        # totWork accounting (§3.1, immediate adoption): the configuration
+        # the accounting charges costs under, and the cumulative metric.
+        self._accounting_config: FrozenSet[Index] = frozenset(materialized)
+        self._total_work = 0.0
+
+    @classmethod
+    def for_stats(cls, stats, **options) -> "TuningEngine":
+        """Build an engine with the default optimizer/δ over ``stats``."""
+        from ..db.transitions import StatsTransitionCosts
+
+        return cls(
+            WhatIfOptimizer(stats), StatsTransitionCosts(stats), **options
+        )
+
+    # -- shared core introspection -------------------------------------------
+
+    @property
+    def tuner(self) -> WFIT:
+        return self._tuner
+
+    @property
+    def optimizer(self) -> WhatIfOptimizer:
+        return self._optimizer
+
+    @property
+    def transitions(self):
+        return self._transitions
+
+    @property
+    def materialized(self) -> FrozenSet[Index]:
+        return frozenset(self._materialized)
+
+    @property
+    def statements_processed(self) -> int:
+        return self._statements_processed
+
+    @property
+    def batches_processed(self) -> int:
+        return self._batches_processed
+
+    @property
+    def total_work(self) -> float:
+        """Cumulative totWork under immediate adoption (§3.1)."""
+        return self._total_work
+
+    @property
+    def queue_depth(self) -> int:
+        with self._ingest_lock:
+            return len(self._queue)
+
+    @property
+    def session_ids(self) -> Tuple[str, ...]:
+        with self._ingest_lock:
+            return tuple(sorted(self._clients))
+
+    # -- session management ----------------------------------------------------
+
+    def _client(self, client_id: str) -> _ClientState:
+        state = self._clients.get(client_id)
+        if state is None:
+            with self._ingest_lock:
+                state = self._clients.setdefault(
+                    client_id, _ClientState(client_id)
+                )
+        return state
+
+    def session(self, client_id: str = "default") -> "ClientSession":
+        """A handle bound to ``client_id`` (created on first use)."""
+        self._client(client_id)
+        return ClientSession(self, client_id)
+
+    def _log(self, client: _ClientState, kind: str, detail: str) -> None:
+        client.events.append(SessionEvent(kind, detail, client.processed))
+
+    def history(self, client_id: str) -> Tuple[SessionEvent, ...]:
+        return tuple(self._client(client_id).events)
+
+    # -- ingest ---------------------------------------------------------------
+
+    def submit(
+        self, client_id: str, statement: Union[str, Statement]
+    ) -> Statement:
+        """Enqueue one statement for ``client_id``; returns the parsed AST.
+
+        The statement is analyzed at the next :meth:`pump` (or by the
+        background drain thread when :meth:`start` is active).
+        """
+        parsed = (
+            parse_statement(statement) if isinstance(statement, str) else statement
+        )
+        client = self._client(client_id)
+        with self._ingest_lock:
+            self._queue.append((client_id, parsed))
+            client.submitted += 1
+            self._wakeup.notify()
+        return parsed
+
+    def submit_many(
+        self, entries: Iterable[Tuple[str, Union[str, Statement]]]
+    ) -> int:
+        """Enqueue a batch of ``(client_id, statement)`` pairs."""
+        count = 0
+        for client_id, statement in entries:
+            self.submit(client_id, statement)
+            count += 1
+        return count
+
+    def _analyze(self, client_id: str, statement: Statement) -> None:
+        """Run one statement through the shared core (writer lock held)."""
+        recommendation = self._tuner.analyze_statement(statement)
+        if recommendation != self._accounting_config:
+            self._total_work += self._transitions.delta(
+                self._accounting_config, recommendation
+            )
+            self._accounting_config = recommendation
+        self._total_work += self._optimizer.cost(statement, recommendation)
+        self._statements_processed += 1
+        client = self._client(client_id)
+        client.processed += 1
+        self._log(client, "statement", to_sql(statement))
+
+    def pump(self, limit: Optional[int] = None) -> int:
+        """Drain pending submissions synchronously; returns the count.
+
+        The single-writer micro-batching loop: pops up to ``batch_size``
+        submissions per queue-lock acquisition and analyzes them through
+        the shared WFIT. With no ``limit`` it drains the whole queue.
+        Deterministic: statements are processed in submission order, so
+        tests (and the replay CLI) can single-step the engine.
+        """
+        processed = 0
+        with self._pump_lock:
+            while limit is None or processed < limit:
+                budget = self.batch_size
+                if limit is not None:
+                    budget = min(budget, limit - processed)
+                with self._ingest_lock:
+                    batch = [
+                        self._queue.popleft()
+                        for _ in range(min(budget, len(self._queue)))
+                    ]
+                if not batch:
+                    break
+                for client_id, statement in batch:
+                    self._analyze(client_id, statement)
+                processed += len(batch)
+                self._batches_processed += 1
+        return processed
+
+    # -- background drain ------------------------------------------------------
+
+    def start(self, poll_interval: float = 0.05) -> None:
+        """Start the background single-writer drain thread."""
+        if self._thread is not None:
+            raise RuntimeError("engine is already running")
+        self._stop_flag.clear()
+
+        def _loop() -> None:
+            while not self._stop_flag.is_set():
+                if self.pump(self.batch_size) == 0:
+                    with self._wakeup:
+                        self._wakeup.wait(timeout=poll_interval)
+
+        self._thread = threading.Thread(
+            target=_loop, name="tuning-engine-drain", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the background thread (idempotent); optionally drain."""
+        thread = self._thread
+        if thread is not None:
+            self._stop_flag.set()
+            with self._wakeup:
+                self._wakeup.notify_all()
+            thread.join()
+            self._thread = None
+        if drain:
+            self.pump()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # -- recommendations and feedback routing ---------------------------------
+
+    def recommendation(self, client_id: str = "default") -> Recommendation:
+        """The current shared recommendation, audited to ``client_id``."""
+        with self._pump_lock:
+            rec = Recommendation(
+                recommended=self._tuner.recommend(),
+                materialized=frozenset(self._materialized),
+            )
+        self._log(
+            self._client(client_id),
+            "recommendation",
+            f"create={len(rec.to_create)} drop={len(rec.to_drop)}",
+        )
+        return rec
+
+    def vote(
+        self,
+        client_id: str,
+        f_plus: AbstractSet[Index],
+        f_minus: AbstractSet[Index],
+    ) -> FrozenSet[Index]:
+        """Route explicit DBA votes from ``client_id`` to the shared core."""
+        with self._pump_lock:
+            rec = self._tuner.feedback(frozenset(f_plus), frozenset(f_minus))
+        self._log(
+            self._client(client_id),
+            "vote",
+            "+{" + ", ".join(ix.name for ix in sorted(f_plus)) + "} "
+            "-{" + ", ".join(ix.name for ix in sorted(f_minus)) + "}",
+        )
+        return rec
+
+    def create_index(self, client_id: str, index: Index) -> None:
+        """``client_id`` materializes an index; WFIT learns via a +vote."""
+        with self._pump_lock:
+            if index in self._materialized:
+                raise ValueError(f"{index.name} is already materialized")
+            self._materialized.add(index)
+            self._tuner.notify_materialized(
+                created={index}, dropped=frozenset()
+            )
+        self._log(self._client(client_id), "create", index.name)
+
+    def drop_index(self, client_id: str, index: Index) -> None:
+        """``client_id`` drops an index; WFIT learns via a −vote."""
+        with self._pump_lock:
+            if index not in self._materialized:
+                raise ValueError(f"{index.name} is not materialized")
+            self._materialized.discard(index)
+            self._tuner.notify_materialized(
+                created=frozenset(), dropped={index}
+            )
+        self._log(self._client(client_id), "drop", index.name)
+
+    def adopt(
+        self, client_id: str = "default"
+    ) -> Tuple[Tuple[Index, ...], Tuple[Index, ...]]:
+        """Adopt the current recommendation wholesale for ``client_id``."""
+        client = self._client(client_id)
+        with self._pump_lock:
+            rec = self._tuner.recommend()
+            created = tuple(sorted(rec - self._materialized))
+            dropped = tuple(sorted(self._materialized - rec))
+            self._materialized = set(rec)
+            self._tuner.feedback(rec, frozenset(dropped))
+        for index in created:
+            self._log(client, "create", index.name)
+        for index in dropped:
+            self._log(client, "drop", index.name)
+        return created, dropped
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics(self) -> Dict[str, object]:
+        """Aggregate engine metrics plus per-session counters."""
+        with self._ingest_lock:
+            sessions = {
+                client_id: {
+                    "submitted": state.submitted,
+                    "processed": state.processed,
+                    "events": len(state.events),
+                }
+                for client_id, state in sorted(self._clients.items())
+            }
+            queue_depth = len(self._queue)
+        with self._pump_lock:
+            return {
+                "statements_processed": self._statements_processed,
+                "batches_processed": self._batches_processed,
+                "queue_depth": queue_depth,
+                "total_work": self._total_work,
+                "materialized": [ix.name for ix in sorted(self._materialized)],
+                "recommendation": [
+                    ix.name for ix in sorted(self._tuner.recommend())
+                ],
+                "sessions": sessions,
+                "cache": self._optimizer.cache_stats(),
+            }
+
+    # -- checkpoint / restore --------------------------------------------------
+
+    def checkpoint(self, extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """Serialize the full engine state to a versioned JSON document.
+
+        Drains submissions pending at entry first (the snapshot is taken
+        between micro-batches, never inside one), so the document reflects
+        a consistent tuner state; statements submitted concurrently after
+        the drain are simply *after* the checkpoint — they stay queued in
+        this live engine and are not part of the document. ``extra`` is
+        stored verbatim under the ``"extra"`` key (the replay CLI stashes
+        trace parameters there).
+        """
+        from .snapshot import checkpoint_engine
+
+        with self._pump_lock:
+            self.pump()
+            return checkpoint_engine(self, extra=extra)
+
+    @classmethod
+    def restore(
+        cls,
+        document: Dict[str, object],
+        optimizer: WhatIfOptimizer,
+        transitions,
+    ) -> "TuningEngine":
+        """Rebuild an engine from a :meth:`checkpoint` document.
+
+        The optimizer/δ provider must be built over equivalent statistics;
+        the restored engine then produces step-identical recommendations
+        and totWork from the checkpoint on.
+        """
+        from .snapshot import restore_engine
+
+        return restore_engine(document, optimizer, transitions)
+
+
+class ClientSession:
+    """A client-facing handle over one engine session.
+
+    Thin by construction: all state lives in the engine; the handle only
+    binds a ``client_id``. ``execute`` is the synchronous convenience used
+    by single-client callers (submit + drain); concurrent deployments
+    submit and let the engine's drain loop do the work.
+    """
+
+    def __init__(self, engine: TuningEngine, client_id: str) -> None:
+        self._engine = engine
+        self._client_id = client_id
+
+    @property
+    def engine(self) -> TuningEngine:
+        return self._engine
+
+    @property
+    def client_id(self) -> str:
+        return self._client_id
+
+    # -- workload --------------------------------------------------------------
+
+    def submit(self, statement: Union[str, Statement]) -> Statement:
+        """Enqueue one statement (asynchronous ingest)."""
+        return self._engine.submit(self._client_id, statement)
+
+    def execute(self, statement: Union[str, Statement]) -> Statement:
+        """Intercept one statement synchronously; returns the AST.
+
+        Equivalent to ``submit`` followed by a full drain — which is what a
+        single-client deployment (the legacy ``AdvisorSession`` shape)
+        wants. When the engine's background thread is running, this still
+        guarantees the statement has been analyzed on return.
+        """
+        parsed = self._engine.submit(self._client_id, statement)
+        self._engine.pump()
+        return parsed
+
+    def execute_many(
+        self, statements: Iterable[Union[str, Statement]]
+    ) -> int:
+        """Intercept a batch; returns how many statements were analyzed."""
+        count = 0
+        for statement in statements:
+            self.submit(statement)
+            count += 1
+        self._engine.pump()
+        return count
+
+    # -- recommendations / feedback / DBA actions ------------------------------
+
+    def recommendation(self) -> Recommendation:
+        return self._engine.recommendation(self._client_id)
+
+    def vote(
+        self, f_plus: AbstractSet[Index], f_minus: AbstractSet[Index]
+    ) -> FrozenSet[Index]:
+        return self._engine.vote(self._client_id, f_plus, f_minus)
+
+    def vote_up(self, *indices: Index) -> FrozenSet[Index]:
+        return self._engine.vote(self._client_id, frozenset(indices), frozenset())
+
+    def vote_down(self, *indices: Index) -> FrozenSet[Index]:
+        return self._engine.vote(self._client_id, frozenset(), frozenset(indices))
+
+    def create_index(self, index: Index) -> None:
+        self._engine.create_index(self._client_id, index)
+
+    def drop_index(self, index: Index) -> None:
+        self._engine.drop_index(self._client_id, index)
+
+    def adopt(self) -> Tuple[Tuple[Index, ...], Tuple[Index, ...]]:
+        return self._engine.adopt(self._client_id)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def materialized(self) -> FrozenSet[Index]:
+        return self._engine.materialized
+
+    @property
+    def statements_submitted(self) -> int:
+        return self._engine._client(self._client_id).submitted
+
+    @property
+    def statements_processed(self) -> int:
+        return self._engine._client(self._client_id).processed
+
+    def history(self) -> Tuple[SessionEvent, ...]:
+        return self._engine.history(self._client_id)

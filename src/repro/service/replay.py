@@ -1,0 +1,266 @@
+"""Replay CLI: drive the tuning service over a generated multi-client trace.
+
+Two subcommands::
+
+    python -m repro.service replay  [trace options] \
+        [--checkpoint-at K --checkpoint PATH] [--metrics-out PATH]
+    python -m repro.service resume  --checkpoint PATH [--verify]
+
+``replay`` deterministically generates the paper's phase-shifting workload,
+deals it across N simulated clients, and streams it through a
+:class:`~repro.service.engine.TuningEngine` (micro-batched ingest). With
+``--checkpoint-at K`` it serializes the engine after K statements; the
+trace parameters are stashed inside the checkpoint document, so ``resume``
+needs only the checkpoint file. ``resume --verify`` additionally runs the
+uninterrupted engine over the full trace and asserts the restored engine's
+per-statement recommendation sequence and final totWork match — the
+step-identical restore guarantee — exiting non-zero on any divergence.
+
+Both subcommands emit a JSON metrics report (stdout or ``--metrics-out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..db import StatsTransitionCosts, build_catalog
+from ..optimizer.whatif import WhatIfOptimizer
+from ..workload import MultiClientTrace, generate_workload, scaled_phases
+from .engine import TuningEngine
+from .snapshot import load_checkpoint, save_checkpoint
+
+__all__ = ["main"]
+
+#: totWork comparison tolerance for ``resume --verify``.
+_VERIFY_TOL = 1e-6
+
+
+def _trace_params(args: argparse.Namespace) -> Dict[str, object]:
+    return {
+        "scale": args.scale,
+        "per_phase": args.per_phase,
+        "seed": args.seed,
+        "clients": args.clients,
+        "split": args.split,
+        "limit": args.limit,
+    }
+
+
+def _build_trace(params: Dict[str, object]) -> Tuple[object, MultiClientTrace]:
+    """Rebuild ``(stats, trace)`` deterministically from trace parameters."""
+    catalog, stats = build_catalog(scale=float(params["scale"]))
+    workload = generate_workload(
+        catalog,
+        stats,
+        scaled_phases(int(params["per_phase"])),
+        seed=int(params["seed"]),
+    )
+    statements = list(workload.statements)
+    limit = params.get("limit")
+    if limit is not None:
+        statements = statements[: int(limit)]
+    clients = [f"client-{i}" for i in range(int(params["clients"]))]
+    trace = MultiClientTrace.split(
+        statements, clients, mode=str(params["split"])
+    )
+    return stats, trace
+
+
+def _build_engine(
+    stats, batch_size: int, engine_options: Dict[str, object]
+) -> TuningEngine:
+    return TuningEngine(
+        WhatIfOptimizer(stats),
+        StatsTransitionCosts(stats),
+        batch_size=batch_size,
+        **engine_options,
+    )
+
+
+def _emit(report: Dict[str, object], metrics_out: Optional[str]) -> None:
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if metrics_out:
+        pathlib.Path(metrics_out).write_text(text + "\n")
+        print(f"metrics written to {metrics_out}")
+    else:
+        print(text)
+
+
+def _step_recommendations(
+    engine: TuningEngine, trace: MultiClientTrace
+) -> List[Tuple[str, ...]]:
+    """Pump one statement at a time, recording each recommendation."""
+    recs: List[Tuple[str, ...]] = []
+    for client, statement in trace:
+        engine.submit(client, statement)
+        engine.pump(1)
+        recs.append(tuple(ix.name for ix in sorted(engine.tuner.recommend())))
+    return recs
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    params = _trace_params(args)
+    stats, trace = _build_trace(params)
+    engine_options = {"idx_cnt": args.idx_cnt, "state_cnt": args.state_cnt}
+    engine = _build_engine(stats, args.batch_size, engine_options)
+
+    checkpoint_at = args.checkpoint_at
+    if checkpoint_at is not None and not args.checkpoint:
+        print("--checkpoint-at requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.checkpoint and checkpoint_at is None:
+        print("--checkpoint requires --checkpoint-at K", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    if checkpoint_at is not None:
+        checkpoint_at = max(0, min(checkpoint_at, len(trace)))
+        engine.submit_many(trace.prefix(checkpoint_at))
+        engine.pump()
+        document = engine.checkpoint(extra={
+            "trace": params,
+            "position": checkpoint_at,
+            "engine_options": engine_options,
+        })
+        save_checkpoint(args.checkpoint, document)
+        engine.submit_many(trace.suffix(checkpoint_at))
+    else:
+        engine.submit_many(trace)
+    engine.pump()
+    elapsed = time.perf_counter() - started
+
+    report = {
+        "command": "replay",
+        "trace": params,
+        "statements": len(trace),
+        "elapsed_seconds": elapsed,
+        "statements_per_sec": len(trace) / elapsed if elapsed else 0.0,
+        "checkpoint": str(args.checkpoint) if checkpoint_at is not None else None,
+        "checkpoint_at": checkpoint_at,
+        "metrics": engine.metrics(),
+    }
+    _emit(report, args.metrics_out)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    document = load_checkpoint(args.checkpoint)
+    extra = document.get("extra") or {}
+    if "trace" not in extra:
+        print(
+            "checkpoint lacks trace parameters (was it written by "
+            "`repro.service replay`?)",
+            file=sys.stderr,
+        )
+        return 2
+    params = dict(extra["trace"])
+    position = int(extra["position"])
+    engine_options = dict(extra.get("engine_options") or {})
+    stats, trace = _build_trace(params)
+
+    restored = TuningEngine.restore(
+        document, WhatIfOptimizer(stats), StatsTransitionCosts(stats)
+    )
+    started = time.perf_counter()
+    restored_recs = _step_recommendations(restored, trace.suffix(position))
+    elapsed = time.perf_counter() - started
+
+    report: Dict[str, object] = {
+        "command": "resume",
+        "trace": params,
+        "resumed_at": position,
+        "statements_replayed": len(trace) - position,
+        "elapsed_seconds": elapsed,
+        "metrics": restored.metrics(),
+    }
+
+    exit_code = 0
+    if args.verify:
+        reference = _build_engine(
+            stats, int(document["batch_size"]), engine_options
+        )
+        reference.submit_many(trace.prefix(position))
+        reference.pump()
+        reference_recs = _step_recommendations(
+            reference, trace.suffix(position)
+        )
+        mismatches = [
+            {"step": position + i, "restored": list(a), "reference": list(b)}
+            for i, (a, b) in enumerate(zip(restored_recs, reference_recs))
+            if a != b
+        ]
+        work_delta = abs(restored.total_work - reference.total_work)
+        verified = not mismatches and work_delta <= _VERIFY_TOL * max(
+            1.0, abs(reference.total_work)
+        )
+        report["verify"] = {
+            "verified": verified,
+            "recommendation_mismatches": mismatches,
+            "total_work_restored": restored.total_work,
+            "total_work_reference": reference.total_work,
+            "total_work_delta": work_delta,
+        }
+        if not verified:
+            exit_code = 1
+    _emit(report, args.metrics_out)
+    if exit_code:
+        print("VERIFY FAILED: restored run diverged", file=sys.stderr)
+    return exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    replay = sub.add_parser(
+        "replay", help="generate a multi-client trace and stream it through "
+        "a tuning engine",
+    )
+    replay.add_argument("--scale", type=float, default=0.02,
+                        help="catalog scale factor (default 0.02)")
+    replay.add_argument("--per-phase", type=int, default=4,
+                        help="statements per workload phase (default 4)")
+    replay.add_argument("--seed", type=int, default=7, help="workload seed")
+    replay.add_argument("--clients", type=int, default=2,
+                        help="number of simulated clients (default 2)")
+    replay.add_argument("--split", choices=("round_robin", "random"),
+                        default="round_robin",
+                        help="statement-to-client assignment policy")
+    replay.add_argument("--limit", type=int, default=None,
+                        help="truncate the trace to this many statements")
+    replay.add_argument("--batch-size", type=int, default=8,
+                        help="ingest micro-batch size (default 8)")
+    replay.add_argument("--idx-cnt", type=int, default=16,
+                        help="WFIT monitored-index bound (default 16)")
+    replay.add_argument("--state-cnt", type=int, default=128,
+                        help="WFIT tracked-state bound (default 128)")
+    replay.add_argument("--checkpoint-at", type=int, default=None,
+                        help="serialize the engine after this many statements")
+    replay.add_argument("--checkpoint", type=str, default=None,
+                        help="checkpoint output path (JSON)")
+    replay.add_argument("--metrics-out", type=str, default=None,
+                        help="write the JSON report here instead of stdout")
+    replay.set_defaults(func=_cmd_replay)
+
+    resume = sub.add_parser(
+        "resume", help="restore an engine from a checkpoint and replay the "
+        "rest of its trace",
+    )
+    resume.add_argument("--checkpoint", type=str, required=True,
+                        help="checkpoint path written by `replay`")
+    resume.add_argument("--verify", action="store_true",
+                        help="also run the uninterrupted engine and assert "
+                        "step-identical recommendations and totWork")
+    resume.add_argument("--metrics-out", type=str, default=None,
+                        help="write the JSON report here instead of stdout")
+    resume.set_defaults(func=_cmd_resume)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

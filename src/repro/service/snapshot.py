@@ -1,0 +1,171 @@
+"""Checkpoint/restore for the tuning engine: versioned JSON documents.
+
+The design goal (motivated by the consistent-snapshot literature for
+main-memory systems) is that a checkpoint is taken *between* micro-batches
+— never inside one — and captures everything needed to continue
+step-identically:
+
+* the WFIT core (partition, per-part work-function values, candidate
+  statistics, universe U, partitioner RNG state) via
+  :meth:`repro.core.wfit.WFIT.export_state`;
+* the what-if optimizer's universe bit-assignment order
+  (:meth:`repro.core.bitset.IndexUniverse.export_order`), so restored
+  masks and cache layouts reproduce the original run exactly;
+* the engine's materialized set, totWork accounting, and per-session
+  audit logs.
+
+Costs themselves are *not* serialized: they are deterministic functions of
+``(statement, configuration)`` under the analytical cost model, so a fresh
+optimizer over equivalent statistics re-derives them on demand — restore
+needs statistics, not gigabytes of memoized plans.
+
+Documents are plain JSON (floats round-trip exactly through Python's
+``json``) with a top-level ``version``; :func:`restore_engine` rejects
+unknown versions up front.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+from ..core.wfit import WFIT
+from ..db.index import Index
+from ..optimizer.whatif import WhatIfOptimizer
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "checkpoint_engine",
+    "load_checkpoint",
+    "restore_engine",
+    "save_checkpoint",
+]
+
+#: Format version of engine checkpoint documents.
+SNAPSHOT_VERSION = 1
+
+
+def checkpoint_engine(engine, extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Serialize ``engine`` between micro-batches.
+
+    Prefer ``TuningEngine.checkpoint()``, which drains pending
+    submissions first. Statements still queued (or submitted
+    concurrently) are *not* part of the document — they remain in the
+    live engine's queue, to be processed after the snapshot point — so
+    each session's serialized ``submitted`` counter equals its
+    ``processed`` count: the restored engine has seen exactly what it
+    has analyzed.
+    """
+    with engine._pump_lock:
+        # Client registration happens under the ingest lock (a concurrent
+        # first-ever submit inserts into the table); snapshot it before
+        # iterating. Per-client processed counts and events only mutate
+        # under the pump lock we already hold.
+        with engine._ingest_lock:
+            clients = sorted(engine._clients.items())
+        document: Dict[str, object] = {
+            "version": SNAPSHOT_VERSION,
+            "batch_size": engine.batch_size,
+            "tuner": engine.tuner.export_state(),
+            "universe_order": [
+                ix.to_payload()
+                for ix in engine.optimizer.mask_universe.export_order()
+            ],
+            "materialized": [
+                ix.to_payload() for ix in sorted(engine.materialized)
+            ],
+            "accounting": {
+                "total_work": engine.total_work,
+                "config": [
+                    ix.to_payload() for ix in sorted(engine._accounting_config)
+                ],
+                "statements_processed": engine.statements_processed,
+                "batches_processed": engine.batches_processed,
+            },
+            "sessions": [
+                {
+                    "client_id": state.client_id,
+                    "submitted": state.processed,
+                    "processed": state.processed,
+                    "events": [
+                        [event.kind, event.detail, event.position]
+                        for event in state.events
+                    ],
+                }
+                for _, state in clients
+            ],
+        }
+    if extra is not None:
+        document["extra"] = extra
+    return document
+
+
+def restore_engine(
+    document: Dict[str, object],
+    optimizer: WhatIfOptimizer,
+    transitions,
+):
+    """Rebuild a ``TuningEngine`` from a :func:`checkpoint_engine` document.
+
+    ``optimizer`` must be freshly built over statistics equivalent to the
+    original's; its mask universe is seeded with the checkpointed bit
+    order before any statement flows through it.
+    """
+    from .engine import SessionEvent, TuningEngine
+
+    version = document.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported engine checkpoint version {version!r} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    optimizer.mask_universe.extend_order(
+        Index.from_payload(payload) for payload in document["universe_order"]
+    )
+
+    # Construct over an empty materialized set so the constructor's interim
+    # tuner is trivial (zero parts) — it is replaced by the restored WFIT
+    # on the next line, and the materialized set is reinstated from the
+    # document below.
+    engine = TuningEngine(
+        optimizer,
+        transitions,
+        batch_size=int(document["batch_size"]),
+    )
+    engine._tuner = WFIT.restore_state(
+        optimizer, transitions, document["tuner"]
+    )
+    engine._materialized = {
+        Index.from_payload(p) for p in document["materialized"]
+    }
+    accounting = document["accounting"]
+    engine._total_work = float(accounting["total_work"])
+    engine._accounting_config = frozenset(
+        Index.from_payload(p) for p in accounting["config"]
+    )
+    engine._statements_processed = int(accounting["statements_processed"])
+    engine._batches_processed = int(accounting["batches_processed"])
+    for item in document["sessions"]:
+        state = engine._client(str(item["client_id"]))
+        state.submitted = int(item["submitted"])
+        state.processed = int(item["processed"])
+        state.events = [
+            SessionEvent(str(kind), str(detail), int(position))
+            for kind, detail, position in item["events"]
+        ]
+    return engine
+
+
+def save_checkpoint(
+    path: Union[str, pathlib.Path], document: Dict[str, object]
+) -> pathlib.Path:
+    """Write a checkpoint document as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_checkpoint(path: Union[str, pathlib.Path]) -> Dict[str, object]:
+    """Read a checkpoint document written by :func:`save_checkpoint`."""
+    return json.loads(pathlib.Path(path).read_text())

@@ -1,6 +1,7 @@
 """The online index-tuning benchmark workload (after [15])."""
 
 from .generator import WorkloadGenerator, generate_workload
+from .multiclient import MultiClientTrace
 from .phases import DEFAULT_PHASES, PhaseSpec, scaled_phases
 from .profiles import DATASET_JOINS, DatasetProfile, JoinEdge, build_profile
 from .trace import Workload
@@ -10,6 +11,7 @@ __all__ = [
     "DEFAULT_PHASES",
     "DatasetProfile",
     "JoinEdge",
+    "MultiClientTrace",
     "PhaseSpec",
     "Workload",
     "WorkloadGenerator",

@@ -1,0 +1,156 @@
+"""Interleaved multi-client traces: statement streams tagged by client.
+
+The tuning service multiplexes many clients over one shared WFIT core, so
+its replay/benchmark inputs are sequences of ``(client_id, statement)``
+pairs rather than bare statement streams. :class:`MultiClientTrace` is
+that container, with deterministic constructors:
+
+* :meth:`MultiClientTrace.split` deals one workload's statements across N
+  clients (round-robin or seeded-random assignment) *preserving the global
+  statement order* — the shape of one traffic stream observed at a proxy.
+* :meth:`MultiClientTrace.round_robin` / :meth:`MultiClientTrace.shuffled`
+  merge independent per-client streams into one interleaving, preserving
+  each client's internal order (the shape of N independent connections).
+
+Because the shared engine analyzes statements in arrival order, feeding a
+trace through ``TuningEngine.pump()`` is equivalent to feeding
+``merged_statements()`` to a single WFIT — the determinism property the
+service tests pin down.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from ..query.ast import Statement
+
+__all__ = ["MultiClientTrace"]
+
+
+class MultiClientTrace:
+    """An immutable ordered sequence of ``(client_id, statement)`` pairs."""
+
+    def __init__(self, entries: Iterable[Tuple[str, Statement]]) -> None:
+        self._entries: Tuple[Tuple[str, Statement], ...] = tuple(
+            (str(client), statement) for client, statement in entries
+        )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def split(
+        cls,
+        statements: Sequence[Statement],
+        clients: Sequence[str],
+        mode: str = "round_robin",
+        seed: int = 0,
+    ) -> "MultiClientTrace":
+        """Assign each statement (in order) to a client.
+
+        ``mode="round_robin"`` deals statements cyclically;
+        ``mode="random"`` draws the client per statement from
+        ``random.Random(seed)``. Either way the global statement order is
+        the input order.
+        """
+        if not clients:
+            raise ValueError("need at least one client")
+        ordered = list(clients)
+        if mode == "round_robin":
+            return cls(
+                (ordered[i % len(ordered)], statement)
+                for i, statement in enumerate(statements)
+            )
+        if mode == "random":
+            rng = random.Random(seed)
+            return cls(
+                (rng.choice(ordered), statement) for statement in statements
+            )
+        raise ValueError(f"unknown split mode {mode!r}")
+
+    @classmethod
+    def round_robin(
+        cls, streams: Mapping[str, Sequence[Statement]]
+    ) -> "MultiClientTrace":
+        """Merge per-client streams by cycling clients in sorted order."""
+        remaining = {
+            client: list(stream) for client, stream in streams.items()
+        }
+        order = sorted(remaining)
+        entries: List[Tuple[str, Statement]] = []
+        position = 0
+        while remaining:
+            client = order[position % len(order)]
+            stream = remaining.get(client)
+            if stream:
+                entries.append((client, stream.pop(0)))
+            if stream is not None and not stream:
+                del remaining[client]
+                order.remove(client)
+                position -= 1  # keep the cycle aligned after removal
+            position += 1
+        return cls(entries)
+
+    @classmethod
+    def shuffled(
+        cls, streams: Mapping[str, Sequence[Statement]], seed: int = 0
+    ) -> "MultiClientTrace":
+        """Deterministic random interleave preserving per-client order.
+
+        At each step the next client is drawn weighted by its remaining
+        statement count, so long streams do not starve short ones.
+        """
+        rng = random.Random(seed)
+        remaining = {
+            client: list(stream)
+            for client, stream in sorted(streams.items())
+            if stream
+        }
+        entries: List[Tuple[str, Statement]] = []
+        while remaining:
+            clients = sorted(remaining)
+            weights = [len(remaining[c]) for c in clients]
+            client = rng.choices(clients, weights=weights)[0]
+            entries.append((client, remaining[client].pop(0)))
+            if not remaining[client]:
+                del remaining[client]
+        return cls(entries)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def entries(self) -> Tuple[Tuple[str, Statement], ...]:
+        return self._entries
+
+    @property
+    def clients(self) -> Tuple[str, ...]:
+        return tuple(sorted({client for client, _ in self._entries}))
+
+    def merged_statements(self) -> Tuple[Statement, ...]:
+        """The trace's statements in arrival order, without client tags."""
+        return tuple(statement for _, statement in self._entries)
+
+    def per_client(self) -> Dict[str, List[Statement]]:
+        """Each client's stream in its own order."""
+        out: Dict[str, List[Statement]] = {}
+        for client, statement in self._entries:
+            out.setdefault(client, []).append(statement)
+        return out
+
+    def prefix(self, n: int) -> "MultiClientTrace":
+        return MultiClientTrace(self._entries[:n])
+
+    def suffix(self, n: int) -> "MultiClientTrace":
+        """The entries from position ``n`` on (for checkpoint resume)."""
+        return MultiClientTrace(self._entries[n:])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[str, Statement]]:
+        return iter(self._entries)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return MultiClientTrace(self._entries[item])
+        return self._entries[item]

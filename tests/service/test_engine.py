@@ -1,0 +1,182 @@
+"""Tests for the multi-session tuning engine (ingest, routing, metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Index, StatsTransitionCosts
+from repro.optimizer import WhatIfOptimizer
+from repro.service import TuningEngine
+
+SALES = "shop.sales"
+
+
+def narrow_sql(stats, column="amount", fraction=0.02, offset=0.0):
+    col = stats.column_stats(SALES, column)
+    lo = col.min_value + col.domain_width * offset
+    hi = lo + col.domain_width * fraction
+    return f"SELECT count(*) FROM shop.sales WHERE {column} BETWEEN {lo} AND {hi}"
+
+
+@pytest.fixture()
+def engine(toy_stats) -> TuningEngine:
+    return TuningEngine(
+        WhatIfOptimizer(toy_stats),
+        StatsTransitionCosts(toy_stats),
+        batch_size=4,
+        idx_cnt=8,
+        state_cnt=64,
+    )
+
+
+class TestIngest:
+    def test_submit_is_deferred_until_pump(self, engine, toy_stats):
+        engine.submit("a", narrow_sql(toy_stats))
+        assert engine.queue_depth == 1
+        assert engine.statements_processed == 0
+        assert engine.pump() == 1
+        assert engine.queue_depth == 0
+        assert engine.statements_processed == 1
+
+    def test_pump_limit_and_order(self, engine, toy_stats):
+        for i in range(6):
+            engine.submit("a" if i % 2 == 0 else "b", narrow_sql(toy_stats))
+        assert engine.pump(4) == 4
+        assert engine.queue_depth == 2
+        assert engine.pump() == 2
+        a, b = engine.session("a"), engine.session("b")
+        assert a.statements_processed == 3
+        assert b.statements_processed == 3
+
+    def test_micro_batches_accounted(self, engine, toy_stats):
+        for _ in range(10):
+            engine.submit("a", narrow_sql(toy_stats))
+        engine.pump()
+        # batch_size=4 → batches of 4, 4, 2.
+        assert engine.batches_processed == 3
+
+    def test_parse_on_submit(self, engine, toy_stats):
+        parsed = engine.submit("a", narrow_sql(toy_stats))
+        assert parsed.tables_referenced() == (SALES,)
+
+    def test_background_drain(self, engine, toy_stats):
+        engine.start()
+        try:
+            session = engine.session("a")
+            for _ in range(8):
+                session.submit(narrow_sql(toy_stats))
+        finally:
+            engine.stop(drain=True)
+        assert engine.statements_processed == 8
+        assert not engine.running
+
+    def test_start_twice_rejected(self, engine):
+        engine.start()
+        try:
+            with pytest.raises(RuntimeError):
+                engine.start()
+        finally:
+            engine.stop()
+
+
+class TestSessionRouting:
+    def test_audit_logs_are_per_client(self, engine, toy_stats):
+        a, b = engine.session("a"), engine.session("b")
+        a.execute(narrow_sql(toy_stats))
+        b.execute(narrow_sql(toy_stats, "sale_date"))
+        a.vote_up(Index(SALES, ("amount",)))
+        assert [e.kind for e in a.history()] == ["statement", "vote"]
+        assert [e.kind for e in b.history()] == ["statement"]
+
+    def test_shared_recommendation(self, engine, toy_stats):
+        a, b = engine.session("a"), engine.session("b")
+        for _ in range(30):
+            a.submit(narrow_sql(toy_stats))
+        engine.pump()
+        assert a.recommendation().recommended == b.recommendation().recommended
+
+    def test_materialization_is_shared_and_validated(self, engine, toy_stats):
+        a, b = engine.session("a"), engine.session("b")
+        index = Index(SALES, ("amount",))
+        a.create_index(index)
+        assert index in b.materialized
+        with pytest.raises(ValueError):
+            b.create_index(index)
+        b.drop_index(index)
+        with pytest.raises(ValueError):
+            a.drop_index(index)
+        kinds = [e.kind for e in a.history()]
+        assert kinds == ["create"]
+        assert [e.kind for e in b.history()] == ["drop"]
+
+    def test_votes_route_to_shared_core(self, engine, toy_stats):
+        a, b = engine.session("a"), engine.session("b")
+        a.execute(narrow_sql(toy_stats))
+        index = Index(SALES, ("amount",))
+        assert index in a.vote_up(index)
+        assert index in engine.tuner.recommend()
+        assert index not in b.vote_down(index)
+
+
+class TestObservability:
+    def test_metrics_shape(self, engine, toy_stats):
+        engine.session("a").execute_many([narrow_sql(toy_stats)] * 3)
+        metrics = engine.metrics()
+        assert metrics["statements_processed"] == 3
+        assert metrics["queue_depth"] == 0
+        assert metrics["sessions"]["a"]["processed"] == 3
+        assert metrics["cache"]["whatif_calls"] > 0
+        assert 0.0 <= metrics["cache"]["statement_hit_rate"] <= 1.0
+
+    def test_total_work_accumulates(self, engine, toy_stats):
+        engine.session("a").execute_many([narrow_sql(toy_stats)] * 5)
+        assert engine.total_work > 0.0
+
+    def test_cache_stats_counters(self, toy_stats):
+        optimizer = WhatIfOptimizer(toy_stats)
+        engine = TuningEngine(
+            optimizer, StatsTransitionCosts(toy_stats),
+            idx_cnt=8, state_cnt=64,
+        )
+        session = engine.session("a")
+        statement = session.execute(narrow_sql(toy_stats))
+        before = optimizer.cache_stats()
+        session.execute(statement)  # identical statement: pure cache traffic
+        after = optimizer.cache_stats()
+        assert after["optimizations"] == before["optimizations"]
+        gained_hits = after["statement_hits"] - before["statement_hits"]
+        gained_walks = after["ibg_mask_costs"] - before["ibg_mask_costs"]
+        assert gained_hits + gained_walks > 0
+        assert after["statement_hit_rate"] >= 0.0
+
+    def test_reset_counters_clears_cache_stats(self, toy_optimizer):
+        toy_optimizer._stmt_hits = 5
+        toy_optimizer.reset_counters()
+        stats = toy_optimizer.cache_stats()
+        assert stats["statement_hits"] == 0
+        assert stats["statement_hit_rate"] == 0.0
+
+
+class TestCheckpointWithPendingSubmissions:
+    def test_pending_submissions_stay_queued_and_are_not_serialized(
+        self, engine, toy_stats
+    ):
+        from repro.service import checkpoint_engine
+
+        engine.session("a").execute(narrow_sql(toy_stats))
+        engine.submit("a", narrow_sql(toy_stats))
+        engine.submit("a", narrow_sql(toy_stats))
+        # Direct snapshot without draining: the pending statements are
+        # after the checkpoint — excluded from the document, kept queued.
+        document = checkpoint_engine(engine)
+        assert engine.queue_depth == 2
+        (session_doc,) = document["sessions"]
+        assert session_doc["submitted"] == session_doc["processed"] == 1
+        assert document["accounting"]["statements_processed"] == 1
+        assert engine.pump() == 2  # the live engine still owns the backlog
+
+    def test_checkpoint_drains_pending_first(self, engine, toy_stats):
+        engine.submit("a", narrow_sql(toy_stats))
+        document = engine.checkpoint()
+        assert engine.queue_depth == 0
+        assert document["accounting"]["statements_processed"] == 1

@@ -1,0 +1,78 @@
+"""Smoke tests for the ``python -m repro.service`` replay CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.replay import main
+
+TRACE_FLAGS = [
+    "--scale", "0.02", "--per-phase", "2", "--seed", "7",
+    "--clients", "2", "--limit", "10",
+]
+
+
+class TestReplay:
+    def test_replay_emits_metrics(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(["replay", *TRACE_FLAGS, "--metrics-out", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["command"] == "replay"
+        assert report["statements"] == 10
+        assert report["metrics"]["statements_processed"] == 10
+        assert set(report["metrics"]["sessions"]) == {"client-0", "client-1"}
+
+    def test_checkpoint_at_requires_path(self, capsys):
+        code = main(["replay", *TRACE_FLAGS, "--checkpoint-at", "4"])
+        assert code == 2
+
+    def test_checkpoint_path_requires_position(self, tmp_path):
+        code = main([
+            "replay", *TRACE_FLAGS,
+            "--checkpoint", str(tmp_path / "ckpt.json"),
+        ])
+        assert code == 2
+
+    def test_checkpoint_resume_verify(self, tmp_path):
+        checkpoint = tmp_path / "ckpt.json"
+        replay_out = tmp_path / "replay.json"
+        code = main([
+            "replay", *TRACE_FLAGS,
+            "--checkpoint-at", "5", "--checkpoint", str(checkpoint),
+            "--metrics-out", str(replay_out),
+        ])
+        assert code == 0
+        assert checkpoint.exists()
+
+        resume_out = tmp_path / "resume.json"
+        code = main([
+            "resume", "--checkpoint", str(checkpoint), "--verify",
+            "--metrics-out", str(resume_out),
+        ])
+        assert code == 0
+        report = json.loads(resume_out.read_text())
+        assert report["resumed_at"] == 5
+        assert report["statements_replayed"] == 5
+        assert report["verify"]["verified"] is True
+        assert report["verify"]["recommendation_mismatches"] == []
+        # Uninterrupted and restored runs finish with the same metric.
+        replay_report = json.loads(replay_out.read_text())
+        assert report["verify"]["total_work_restored"] == pytest.approx(
+            replay_report["metrics"]["total_work"], rel=1e-9
+        )
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path, toy_stats):
+        from repro.db import StatsTransitionCosts
+        from repro.optimizer import WhatIfOptimizer
+        from repro.service import TuningEngine, save_checkpoint
+
+        engine = TuningEngine(
+            WhatIfOptimizer(toy_stats), StatsTransitionCosts(toy_stats),
+            idx_cnt=6, state_cnt=32,
+        )
+        path = tmp_path / "bare.json"
+        save_checkpoint(path, engine.checkpoint())  # no trace parameters
+        assert main(["resume", "--checkpoint", str(path)]) == 2
