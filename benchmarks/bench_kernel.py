@@ -26,8 +26,11 @@ non-zero if the size-8 speedup falls below the 3x acceptance floor
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
 import pathlib
+import pstats
 import sys
 import time
 from collections import Counter
@@ -135,6 +138,31 @@ def run_seed(stats, partition, statements, transitions):
     return elapsed, cache.optimizations, tuner.recommend()
 
 
+def profile_kernel(stats, partition, statements, transitions, top=20):
+    """cProfile top-``top`` of a (separate, untimed) kernel run.
+
+    Run *after* the timed measurement so profiler overhead never leaks into
+    the reported statements/sec; the returned lines go into the result JSON
+    so an optimizer-bound regression is diagnosable straight from the CI
+    artifact.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_kernel(stats, partition, statements, transitions)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats_view = pstats.Stats(profiler, stream=buffer)
+    stats_view.sort_stats("cumulative").print_stats(top)
+    lines = [
+        line.rstrip() for line in buffer.getvalue().splitlines() if line.strip()
+    ]
+    # Drop the profiler preamble up to the column header.
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("ncalls"):
+            return lines[i:]
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -150,6 +178,9 @@ def main(argv=None) -> int:
                         help="report only; do not enforce the 3x floor")
     parser.add_argument("--no-save", action="store_true",
                         help="do not write benchmarks/results/bench_kernel.json")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach a cProfile top-20 (cumulative) of an "
+                        "extra, untimed kernel run to every row")
     parser.add_argument("--out", type=str, default=None,
                         help="result JSON path (default: "
                         "benchmarks/results/bench_kernel.json; point quick "
@@ -183,7 +214,7 @@ def main(argv=None) -> int:
         seed_s, seed_opts, seed_rec = run_seed(
             stats, partition, statements, transitions
         )
-        rows.append({
+        row = {
             "part_size": part_size,
             "parts": len(partition),
             "tracked_states": sum(1 << len(p) for p in partition),
@@ -194,7 +225,12 @@ def main(argv=None) -> int:
             "kernel_optimizations": kernel_opts,
             "seed_optimizations": seed_opts,
             "recommendations_match": kernel_rec == seed_rec,
-        })
+        }
+        if args.profile:
+            row["profile_kernel_top20"] = profile_kernel(
+                stats, partition, statements, transitions
+            )
+        rows.append(row)
 
     header = (
         f"{'size':>4} {'parts':>5} {'states':>6} "
@@ -215,6 +251,12 @@ def main(argv=None) -> int:
             f"{row['kernel_optimizations']:>11} "
             f"{str(row['recommendations_match']):>5}"
         )
+    if args.profile:
+        for row in rows:
+            print(f"\ncProfile top-20 (cumulative), part size "
+                  f"{row['part_size']}:")
+            for line in row["profile_kernel_top20"]:
+                print(f"  {line}")
 
     if not args.no_save:
         RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI perf gate: fail on statements/sec regressions in bench_kernel runs.
+
+Compares a fresh ``bench_kernel.py --quick`` result against the pinned
+baseline committed under ``benchmarks/results/`` so perf drift can never
+land silently. Two machine-independent checks **fail** the gate per part
+size (raw wall-clock is not comparable between the machine that pinned the
+baseline and an arbitrary CI runner):
+
+* **seed-relative throughput** — the ``speedup`` column (kernel st/s over
+  the in-run seed-baseline st/s on the same machine) must not drop by more
+  than ``--max-regression`` (default 25%). A kernel slowdown shows up here
+  immediately because the seed pipeline is compiled from the same checkout.
+* **plan-derivation count** — ``kernel_optimizations`` must not grow by
+  more than the same fraction (the §6.2 machine-independent overhead
+  metric; a caching/batching regression shows up here even if wall-clock
+  happens to be quiet on the runner).
+
+``recommendations_match`` must hold on every current row. Raw kernel
+statements/sec drops are reported as *warnings* only.
+
+Usage (what the CI job runs)::
+
+    python benchmarks/bench_kernel.py --quick --out /tmp/quick.json
+    python benchmarks/perf_gate.py --current /tmp/quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_BASELINE = RESULTS_DIR / "bench_kernel_quick.json"
+
+
+def _rows_by_size(payload):
+    return {row["part_size"]: row for row in payload["rows"]}
+
+
+def compare(baseline, current, max_regression):
+    """Yields (level, message) pairs; level is "FAIL" or "WARN"."""
+    base_rows = _rows_by_size(baseline)
+    cur_rows = _rows_by_size(current)
+    for key in ("scale", "per_phase", "seed"):
+        if baseline.get(key) != current.get(key):
+            yield ("FAIL", f"workload mismatch: {key} baseline="
+                   f"{baseline.get(key)} current={current.get(key)} — "
+                   f"rerun bench_kernel with the baseline's parameters")
+            return
+    shared = sorted(set(base_rows) & set(cur_rows))
+    if not shared:
+        yield ("FAIL", "no common part sizes between baseline and current run")
+        return
+    floor = 1.0 - max_regression
+    ceiling = 1.0 + max_regression
+    for size in shared:
+        base, cur = base_rows[size], cur_rows[size]
+        if not cur["recommendations_match"]:
+            yield ("FAIL", f"size {size}: kernel and seed recommendations "
+                   f"diverged (correctness, not perf)")
+        ratio = cur["speedup"] / base["speedup"]
+        if ratio < floor:
+            yield ("FAIL", f"size {size}: seed-relative throughput fell to "
+                   f"{ratio:.2f}x of baseline "
+                   f"({cur['speedup']:.2f}x vs {base['speedup']:.2f}x; "
+                   f"allowed floor {floor:.2f}x)")
+        else:
+            yield ("ok", f"size {size}: seed-relative throughput "
+                   f"{cur['speedup']:.2f}x vs baseline {base['speedup']:.2f}x")
+        base_opts = max(1, base["kernel_optimizations"])
+        opt_ratio = cur["kernel_optimizations"] / base_opts
+        if opt_ratio > ceiling:
+            yield ("FAIL", f"size {size}: plan derivations grew "
+                   f"{opt_ratio:.2f}x ({cur['kernel_optimizations']} vs "
+                   f"{base['kernel_optimizations']})")
+        raw_ratio = cur["kernel_stmts_per_sec"] / base["kernel_stmts_per_sec"]
+        if raw_ratio < floor:
+            yield ("WARN", f"size {size}: raw kernel st/s at {raw_ratio:.2f}x "
+                   f"of the pinned baseline (machine-dependent; not gated)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE,
+                        help=f"pinned baseline JSON (default {DEFAULT_BASELINE})")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly produced bench_kernel JSON to gate")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop/growth (default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    failures = 0
+    for level, message in compare(baseline, current, args.max_regression):
+        print(f"{level}: {message}")
+        if level == "FAIL":
+            failures += 1
+    if failures:
+        print(f"\nperf gate: {failures} failing check(s) "
+              f"(threshold {args.max_regression:.0%})")
+        return 1
+    print("\nperf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

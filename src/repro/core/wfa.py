@@ -322,30 +322,26 @@ class WFA:
                 if alt_lo < lo:
                     new_w[mask] = alt_lo
 
-        # The p[S] membership test S ∈ p[S] is equivalent to the work
-        # function having no final transition: w'[S] = w[S] + cost(q, S).
-        tolerance = [
-            _EPS * max(1.0, abs(new_w[mask])) for mask in range(size)
-        ]
-        self_path = [
-            abs(new_w[mask] - (w[mask] + costs[mask])) <= tolerance[mask]
-            for mask in range(size)
-        ]
         self._w = new_w
         self._statements_analyzed += 1
 
-        # Stage 2: pick the next recommendation by minimum score with the
-        # self-path condition; Appendix-B lexicographic tie-break. The δ to
-        # the current recommendation is two precomputed-prefix-sum reads.
+        # Stage 2: pick the next recommendation by minimum score subject to
+        # the p[S] membership condition S ∈ p[S] — equivalent to the work
+        # function having no final transition: w'[S] = w[S] + cost(q, S).
+        # The test is fused into this single scan (no O(2^k) tolerance /
+        # self-path temporaries); the δ to the current recommendation is
+        # two precomputed-prefix-sum reads. Appendix-B lexicographic
+        # tie-break on score ties.
         create_sum = self._delta_table.create_sum
         drop_sum = self._delta_table.drop_sum
         rec = self._rec
         best_mask: Optional[int] = None
         best_score = float("inf")
         for mask in range(size):
-            if not self_path[mask]:
+            value = new_w[mask]
+            if abs(value - (w[mask] + costs[mask])) > _EPS * max(1.0, abs(value)):
                 continue
-            score = new_w[mask] + create_sum[rec & ~mask] + drop_sum[mask & ~rec]
+            score = value + create_sum[rec & ~mask] + drop_sum[mask & ~rec]
             if best_mask is None:
                 best_mask, best_score = mask, score
                 continue

@@ -254,30 +254,37 @@ def build_ibg(
                 maintenance[index] = charge
     maintenance_mask, charge_by_bit = _maintenance_tables(universe, maintenance)
 
+    # Wave-at-a-time construction: each BFS frontier is priced through the
+    # optimizer's batched template interface in one call, so the graph pays
+    # one plan derivation per *statement*, not one per node.
     nodes: Dict[int, IBGNode] = {}
-    queue: List[int] = [root_mask]
-    while queue:
-        subset_mask = queue.pop()
-        if subset_mask in nodes:
-            continue
-        if len(nodes) >= max_nodes:
-            raise RuntimeError(
-                f"IBG exceeded {max_nodes} nodes for statement {statement!r}"
+    frontier: List[int] = [root_mask]
+    while frontier:
+        wave = [mask for mask in dict.fromkeys(frontier) if mask not in nodes]
+        if not wave:
+            break
+        priced = optimizer.plan_usage_masks(statement, wave)
+        frontier = []
+        for subset_mask, (cost, plan_used_mask) in zip(wave, priced):
+            if len(nodes) >= max_nodes:
+                raise RuntimeError(
+                    f"IBG exceeded {max_nodes} nodes for statement {statement!r}"
+                )
+            plan_used_mask &= subset_mask
+            # Store the maintenance-free core cost so lookups stay exact for
+            # arbitrary subsets (maintenance is re-added per lookup).
+            core = cost
+            charged = subset_mask & maintenance_mask
+            if charged:
+                core -= sum(charge_by_bit[bit] for bit in iter_bits(charged))
+            nodes[subset_mask] = IBGNode(
+                subset_mask, core, plan_used_mask, universe
             )
-        cost, plan_used_mask = optimizer.plan_usage_mask(statement, subset_mask)
-        plan_used_mask &= subset_mask
-        # Store the maintenance-free core cost so lookups stay exact for
-        # arbitrary subsets (maintenance is re-added per lookup).
-        core = cost
-        charged = subset_mask & maintenance_mask
-        if charged:
-            core -= sum(charge_by_bit[bit] for bit in iter_bits(charged))
-        nodes[subset_mask] = IBGNode(subset_mask, core, plan_used_mask, universe)
-        remaining = plan_used_mask
-        while remaining:
-            bit = remaining & -remaining
-            remaining ^= bit
-            child = subset_mask & ~bit
-            if child not in nodes:
-                queue.append(child)
+            remaining = plan_used_mask
+            while remaining:
+                bit = remaining & -remaining
+                remaining ^= bit
+                child = subset_mask & ~bit
+                if child not in nodes:
+                    frontier.append(child)
     return IndexBenefitGraph(statement, universe, nodes, root_mask, maintenance)

@@ -9,6 +9,7 @@ from .selectivity import (
     predicate_selectivity,
     selectivity_by_column,
 )
+from .template import PlanTemplate, build_plan_template
 from .whatif import WhatIfOptimizer
 
 __all__ = [
@@ -20,8 +21,10 @@ __all__ = [
     "JoinStep",
     "MAX_COMPOSITE_WIDTH",
     "MaintenanceItem",
+    "PlanTemplate",
     "QueryPlan",
     "WhatIfOptimizer",
+    "build_plan_template",
     "combined_selectivity",
     "extract_indices",
     "join_selectivity",

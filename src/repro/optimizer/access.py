@@ -47,6 +47,13 @@ class AccessPath:
     output_rows: float
     sorted_columns: Tuple[str, ...] = ()
 
+    @property
+    def selection_key(self) -> Tuple[float, str, List[str]]:
+        """The deterministic ordering :meth:`AccessCostModel.best_path` and
+        the batched :class:`~repro.optimizer.template.PlanTemplate` menus
+        share: cheapest first, then kind, then index names."""
+        return (self.cost, self.kind, [ix.name for ix in self.indexes])
+
     def describe(self) -> str:
         if not self.indexes:
             return self.kind
@@ -253,7 +260,7 @@ class AccessCostModel:
         paths = self.enumerate_paths(
             table, col_sel, needed_columns, indices, allow_index_only
         )
-        return min(paths, key=lambda p: (p.cost, p.kind, [ix.name for ix in p.indexes]))
+        return min(paths, key=lambda p: p.selection_key)
 
     # -- update maintenance --------------------------------------------------
 

@@ -133,6 +133,11 @@ class CostModel:
     def sizer(self) -> IndexSizer:
         return self._sizer
 
+    @property
+    def access_model(self) -> AccessCostModel:
+        """The per-table access-path enumerator (shared with plan templates)."""
+        return self._access
+
     # -- select ------------------------------------------------------------
 
     def _select_plan(self, query: SelectQuery, config: AbstractSet[Index]) -> QueryPlan:
@@ -194,7 +199,7 @@ class CostModel:
         while remaining:
             best: Optional[Tuple[float, str, Optional[JoinPredicate]]] = None
             for table in sorted(remaining):
-                join_pred = self._connecting_join(query, joined, table)
+                join_pred = self.connecting_join(query, joined, table)
                 if join_pred is None:
                     out = current_rows * path_by_table[table].output_rows
                 else:
@@ -256,9 +261,15 @@ class CostModel:
         return current_rows, access_paths, join_steps
 
     @staticmethod
-    def _connecting_join(
+    def connecting_join(
         query: SelectQuery, joined: AbstractSet[str], table: str
     ) -> Optional[JoinPredicate]:
+        """The join predicate linking ``table`` to the already-joined set.
+
+        Public because :mod:`repro.optimizer.template` replays the same
+        greedy join-order construction when building a plan template; both
+        must agree on which predicate connects each step.
+        """
         for join in query.joins:
             if join.touches(table):
                 other = join.left.table if join.right.table == table else join.right.table

@@ -24,6 +24,18 @@ instead of hashing a frozenset. The frozenset API (``cost``, ``optimize``,
 boundary; hot loops use the ``*_mask`` variants or a per-statement
 :class:`StatementCosts` handle (see :meth:`WhatIfOptimizer.statement_costs`),
 which is what WFA's work-function update drives.
+
+Batched costing (plan templates)
+--------------------------------
+Memo *misses* are priced by a cached per-statement
+:class:`~repro.optimizer.template.PlanTemplate` — selectivities, the greedy
+join order, and every candidate access path are computed once per statement,
+after which any configuration mask is a pure table-local menu argmin plus
+precomputed join/sort/maintenance terms, bit-identical to the scalar
+:class:`CostModel` path (retained as the equivalence oracle). The
+``optimizations`` counter therefore counts *template builds* plus any scalar
+fallbacks: the number of times genuine plan derivation ran, which is the
+machine-independent overhead quantity of §6.2.
 """
 
 from __future__ import annotations
@@ -36,22 +48,23 @@ from ..db.index import Index
 from ..db.stats import StatsRepository
 from ..query.ast import Statement
 from .cost_model import CostModel, CostModelConfig, QueryPlan
+from .template import PlanTemplate, build_plan_template
 
 __all__ = ["StatementCosts", "WhatIfOptimizer"]
 
 #: Per-statement memo entry: (total cost, used mask, plan-used mask).
 _Entry = Tuple[float, int, int]
 
-#: Bulk costing builds the statement's IBG once the requested configurations
-#: span at least this many candidate bits (2^3 = 8 subsets): below that,
-#: direct memoized optimization is cheaper than a graph build.
-_IBG_MIN_UNION_BITS = 3
-
 #: Most-recent statements whose IBG (or failed-build record) is retained.
 #: Graph reuse is within-statement (across WFA⁺ parts, and WFIT's
 #: chooseCands → analyze sequence), so a small LRU keeps every win while
 #: bounding memory over arbitrarily long non-repeating workload streams.
 _IBG_CACHE_LIMIT = 64
+
+#: Most-recent statements whose compiled plan template is retained. A
+#: template is a few flat tuples per referenced table, so the bound mirrors
+#: the statement memo rather than the (heavier) IBG cache.
+_TEMPLATE_CACHE_LIMIT = 512
 
 #: Most-recent statements whose cost memo / table tuple is retained. Entries
 #: are small, so this is far larger than the IBG bound, but it keeps the
@@ -78,10 +91,10 @@ class StatementCosts:
     def costs(self, config_masks: Sequence[int]) -> List[float]:
         """Vectorized :meth:`cost` over many configuration masks.
 
-        When the request spans enough candidates, the statement's Index
-        Benefit Graph is built (or fetched) once and every configuration is
-        answered by a mask walk — the paper's §5 architecture: ``2^k``
-        configuration costs from a handful of plan optimizations.
+        The whole batch is priced through the statement's plan template
+        (built at most once per statement) — the paper's §5 architecture:
+        ``2^k`` configuration costs from a single plan derivation. Repeat
+        masks are answered from the shared memo with one int-dict probe.
         """
         optimizer = self._optimizer
         optimizer.whatif_calls += len(config_masks)
@@ -89,27 +102,21 @@ class StatementCosts:
         # Recomputed per batch: the universe may have grown (new indices on
         # this statement's tables) since the handle was created.
         tables_mask = optimizer._statement_tables_mask(statement)
-        union = 0
-        for mask in config_masks:
-            union |= mask
-        union &= tables_mask
-        if union.bit_count() >= _IBG_MIN_UNION_BITS and len(config_masks) > 4:
-            graph = optimizer._statement_ibg(statement, union)
-            if graph is not None:
-                optimizer._ibg_mask_costs += len(config_masks)
-                cost_mask = graph.cost_mask
-                return [cost_mask(mask & tables_mask) for mask in config_masks]
         cache = self._cache
+        cache_get = cache.get
+        optimize = optimizer._optimize_relevant
         out: List[float] = []
         append = out.append
+        hits = 0
         for mask in config_masks:
             relevant = mask & tables_mask
-            entry = cache.get(relevant)
+            entry = cache_get(relevant)
             if entry is None:
-                entry = optimizer._optimize_relevant(statement, relevant, cache)
+                entry = optimize(statement, relevant, cache)
             else:
-                optimizer._stmt_hits += 1
+                hits += 1
             append(entry[0])
+        optimizer._stmt_hits += hits
         return out
 
 
@@ -135,17 +142,24 @@ class WhatIfOptimizer:
         # the identical doomed build is not repeated; a larger cap, or a
         # different root, still retries. LRU-bounded like the graph cache.
         self._ibg_failed: "OrderedDict[Statement, Tuple[int, int]]" = OrderedDict()
+        # statement -> compiled PlanTemplate, LRU-bounded; rebuilt when new
+        # candidate indices appear on the statement's tables.
+        self._template_cache: "OrderedDict[Statement, PlanTemplate]" = OrderedDict()
         self.whatif_calls = 0
         self.optimizations = 0
         # Observability counters behind cache_stats(): hit/miss/eviction
-        # accounting for the statement memo and the IBG cache.
+        # accounting for the statement memo, the plan-template cache, and
+        # the IBG cache.
         self._stmt_hits = 0
         self._stmt_misses = 0
         self._stmt_evictions = 0
+        self._template_hits = 0
+        self._template_builds = 0
+        self._template_evictions = 0
+        self._template_mask_costs = 0
         self._ibg_graph_hits = 0
         self._ibg_graph_builds = 0
         self._ibg_evictions = 0
-        self._ibg_mask_costs = 0
 
     @property
     def cost_model(self) -> CostModel:
@@ -223,22 +237,59 @@ class WhatIfOptimizer:
                 self._stmt_evictions += 1
         return cache
 
+    def _statement_template(self, statement: Statement) -> Optional[PlanTemplate]:
+        """The statement's compiled :class:`PlanTemplate` (built on demand).
+
+        A cached template is reused while it covers every candidate index
+        registered on the statement's tables; new relevant candidates
+        trigger a rebuild (old memo entries stay valid — menus only grow).
+        Returns None for statement types the template engine cannot model;
+        the scalar path then remains authoritative.
+        """
+        tables_mask = self._statement_tables_mask(statement)
+        template = self._template_cache.get(statement)
+        if template is not None and not tables_mask & ~template.covered_mask:
+            self._template_cache.move_to_end(statement)
+            self._template_hits += 1
+            return template
+        template = build_plan_template(
+            self._model, self._universe, statement, tables_mask
+        )
+        if template is None:
+            return None
+        # A build performs the statement's one-off plan derivation work
+        # (selectivities, join order, path enumeration): the honest unit
+        # of "actual plan optimizations" once batching is on.
+        self._template_builds += 1
+        self.optimizations += 1
+        self._template_cache[statement] = template
+        self._template_cache.move_to_end(statement)
+        while len(self._template_cache) > _TEMPLATE_CACHE_LIMIT:
+            self._template_cache.popitem(last=False)
+            self._template_evictions += 1
+        return template
+
     def _optimize_relevant(
         self,
         statement: Statement,
         relevant_mask: int,
         cache: Dict[int, _Entry],
     ) -> _Entry:
-        """Cache miss: run the actual plan optimization and intern masks."""
-        self.optimizations += 1
+        """Cache miss: price the mask via the plan template (scalar fallback)."""
         self._stmt_misses += 1
-        universe = self._universe
-        plan = self._model.explain(statement, universe.decode(relevant_mask))
-        entry = (
-            plan.total_cost,
-            universe.encode(self._used_indices(plan)),
-            universe.encode(self._plan_indices(plan)),
-        )
+        template = self._statement_template(statement)
+        if template is not None:
+            entry = template.entry(relevant_mask)
+            self._template_mask_costs += 1
+        else:
+            self.optimizations += 1
+            universe = self._universe
+            plan = self._model.explain(statement, universe.decode(relevant_mask))
+            entry = (
+                plan.total_cost,
+                universe.encode(self._used_indices(plan)),
+                universe.encode(self._plan_indices(plan)),
+            )
         cache[relevant_mask] = entry
         return entry
 
@@ -252,6 +303,28 @@ class WhatIfOptimizer:
         else:
             self._stmt_hits += 1
         return entry
+
+    def plan_usage_masks(
+        self, statement: Statement, config_masks: Sequence[int]
+    ) -> List[Tuple[float, int]]:
+        """Batched :meth:`plan_usage_mask`: ``(cost, plan-used mask)`` per
+        requested configuration, priced through the statement's template
+        with one handle fetch for the whole batch (what IBG construction
+        drives wave by wave)."""
+        self.whatif_calls += len(config_masks)
+        tables_mask = self._statement_tables_mask(statement)
+        cache = self._statement_cache(statement)
+        cache_get = cache.get
+        out: List[Tuple[float, int]] = []
+        for mask in config_masks:
+            relevant = mask & tables_mask
+            entry = cache_get(relevant)
+            if entry is None:
+                entry = self._optimize_relevant(statement, relevant, cache)
+            else:
+                self._stmt_hits += 1
+            out.append((entry[0], entry[2]))
+        return out
 
     # -- the statement IBG (configuration-parametric costing) -----------------
 
@@ -405,17 +478,20 @@ class WhatIfOptimizer:
         )
 
     def cache_stats(self) -> Dict[str, float]:
-        """Hit/miss/eviction counters for the statement and IBG caches.
+        """Hit/miss/eviction counters for the memo, template and IBG caches.
 
         ``statement_*`` accounts the per-statement cost memo (a hit is a
-        costing request answered without a plan optimization, excluding
-        those answered by an IBG walk); ``ibg_*`` accounts the per-statement
-        Index Benefit Graph cache, with ``ibg_mask_costs`` counting the
-        configuration costs answered by graph walks. Hit rates are derived;
+        costing request answered without pricing work); ``template_*``
+        accounts the compiled plan-template cache — ``template_builds``
+        counts genuine plan derivations, ``template_mask_costs`` the memo
+        misses priced by a template menu walk instead of a scalar
+        optimization. ``ibg_*`` accounts the per-statement Index Benefit
+        Graph cache (WFIT's candidate analysis). Hit rates are derived;
         they are 0.0 while no requests have been observed. Counters are
         cumulative since construction or :meth:`reset_counters`.
         """
         stmt_lookups = self._stmt_hits + self._stmt_misses
+        template_requests = self._template_hits + self._template_builds
         ibg_requests = self._ibg_graph_hits + self._ibg_graph_builds
         return {
             "statement_hits": self._stmt_hits,
@@ -424,13 +500,20 @@ class WhatIfOptimizer:
             "statement_hit_rate": (
                 self._stmt_hits / stmt_lookups if stmt_lookups else 0.0
             ),
+            "template_hits": self._template_hits,
+            "template_builds": self._template_builds,
+            "template_evictions": self._template_evictions,
+            "template_hit_rate": (
+                self._template_hits / template_requests
+                if template_requests else 0.0
+            ),
+            "template_mask_costs": self._template_mask_costs,
             "ibg_graph_hits": self._ibg_graph_hits,
             "ibg_graph_builds": self._ibg_graph_builds,
             "ibg_evictions": self._ibg_evictions,
             "ibg_hit_rate": (
                 self._ibg_graph_hits / ibg_requests if ibg_requests else 0.0
             ),
-            "ibg_mask_costs": self._ibg_mask_costs,
             "whatif_calls": self.whatif_calls,
             "optimizations": self.optimizations,
         }
@@ -441,10 +524,13 @@ class WhatIfOptimizer:
         self._stmt_hits = 0
         self._stmt_misses = 0
         self._stmt_evictions = 0
+        self._template_hits = 0
+        self._template_builds = 0
+        self._template_evictions = 0
+        self._template_mask_costs = 0
         self._ibg_graph_hits = 0
         self._ibg_graph_builds = 0
         self._ibg_evictions = 0
-        self._ibg_mask_costs = 0
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -452,3 +538,4 @@ class WhatIfOptimizer:
         self._stmt_tables.clear()
         self._ibg_cache.clear()
         self._ibg_failed.clear()
+        self._template_cache.clear()

@@ -31,6 +31,7 @@ entry points.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import (
@@ -97,16 +98,36 @@ class Recommendation:
         return self.recommended == self.materialized
 
 
+#: Per-client analyze-latency samples retained for percentile reporting.
+#: A bounded window keeps the engine's footprint flat over unbounded
+#: statement streams; p50/p95 then describe recent behavior, which is what
+#: an operator watching a live engine wants anyway.
+_LATENCY_WINDOW = 4096
+
+
 class _ClientState:
     """Engine-internal per-client bookkeeping."""
 
-    __slots__ = ("client_id", "submitted", "processed", "events")
+    __slots__ = ("client_id", "submitted", "processed", "events", "latencies")
 
     def __init__(self, client_id: str) -> None:
         self.client_id = client_id
         self.submitted = 0
         self.processed = 0
         self.events: List[SessionEvent] = []
+        # Wall-clock seconds each of the client's statements spent inside
+        # the shared core (analysis + totWork accounting). Ephemeral
+        # observability: not part of checkpoint documents.
+        self.latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
 
 
 class TuningEngine:
@@ -253,6 +274,7 @@ class TuningEngine:
 
     def _analyze(self, client_id: str, statement: Statement) -> None:
         """Run one statement through the shared core (writer lock held)."""
+        started = time.perf_counter()
         recommendation = self._tuner.analyze_statement(statement)
         if recommendation != self._accounting_config:
             self._total_work += self._transitions.delta(
@@ -260,9 +282,11 @@ class TuningEngine:
             )
             self._accounting_config = recommendation
         self._total_work += self._optimizer.cost(statement, recommendation)
+        elapsed = time.perf_counter() - started
         self._statements_processed += 1
         client = self._client(client_id)
         client.processed += 1
+        client.latencies.append(elapsed)
         self._log(client, "statement", to_sql(statement))
 
     def pump(self, limit: Optional[int] = None) -> int:
@@ -403,18 +427,28 @@ class TuningEngine:
     # -- observability ---------------------------------------------------------
 
     def metrics(self) -> Dict[str, object]:
-        """Aggregate engine metrics plus per-session counters."""
-        with self._ingest_lock:
-            sessions = {
-                client_id: {
-                    "submitted": state.submitted,
-                    "processed": state.processed,
-                    "events": len(state.events),
-                }
-                for client_id, state in sorted(self._clients.items())
-            }
-            queue_depth = len(self._queue)
+        """Aggregate engine metrics plus per-session counters.
+
+        Per-session ``latency_p50_ms`` / ``latency_p95_ms`` summarize the
+        client's last :data:`_LATENCY_WINDOW` in-core statement latencies
+        (analysis plus totWork accounting; 0.0 before any statement).
+        """
+        # The writer lock first: latency deques are appended to by the
+        # single writer under _pump_lock, so snapshotting them requires it
+        # (lock order matches pump(): _pump_lock, then _ingest_lock).
         with self._pump_lock:
+            with self._ingest_lock:
+                sessions = {}
+                for client_id, state in sorted(self._clients.items()):
+                    samples = list(state.latencies)
+                    sessions[client_id] = {
+                        "submitted": state.submitted,
+                        "processed": state.processed,
+                        "events": len(state.events),
+                        "latency_p50_ms": _percentile(samples, 0.50) * 1000.0,
+                        "latency_p95_ms": _percentile(samples, 0.95) * 1000.0,
+                    }
+                queue_depth = len(self._queue)
             return {
                 "statements_processed": self._statements_processed,
                 "batches_processed": self._batches_processed,

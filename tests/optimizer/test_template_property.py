@@ -1,0 +1,229 @@
+"""Property test: plan-template costing ≡ the scalar cost model, bit-exactly.
+
+For random schemas, statements (SELECT with joins/ORDER BY, UPDATE, DELETE,
+INSERT) and candidate/configuration sets, the batched
+:class:`~repro.optimizer.template.PlanTemplate` must reproduce the scalar
+``CostModel.explain`` result *to the last bit*: total cost with ``==`` (no
+tolerance — the template replays the exact summation order), plus identical
+used and plan-used index sets, including UPDATE/DELETE/INSERT maintenance
+terms and the INLJ cross-table feature when enabled. This is the contract
+that lets the what-if memo, the IBG, and the golden totWork curves treat
+template pricing as a drop-in for plan optimization.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitset import IndexUniverse, iter_submasks
+from repro.db import Index
+from repro.db.schema import Catalog, Column, ColumnType, Database, Table
+from repro.db.stats import ColumnStats, StatsRepository, TableStats
+from repro.optimizer import CostModel, CostModelConfig, WhatIfOptimizer
+from repro.optimizer.template import build_plan_template
+from repro.query.ast import (
+    ColumnRef,
+    DeleteStatement,
+    EqualityPredicate,
+    InsertStatement,
+    JoinPredicate,
+    OrderBy,
+    RangePredicate,
+    SelectQuery,
+    UpdateStatement,
+)
+
+_COLUMN_TYPES = (ColumnType.INT, ColumnType.FLOAT, ColumnType.DATE)
+
+
+def _random_stats(rng: random.Random, n_tables: int) -> StatsRepository:
+    tables = []
+    all_stats = []
+    for t in range(n_tables):
+        n_cols = rng.randint(3, 5)
+        columns = [
+            Column(f"c{i}", rng.choice(_COLUMN_TYPES)) for i in range(n_cols)
+        ]
+        table = Table(f"rnd.t{t}", columns)
+        tables.append(table)
+        row_count = rng.randint(50, 200_000)
+        col_stats = {}
+        for column in columns:
+            lo = rng.uniform(-100.0, 100.0)
+            width = rng.uniform(0.0, 1000.0)
+            col_stats[column.name] = ColumnStats(
+                n_distinct=rng.randint(1, max(1, row_count)),
+                min_value=lo,
+                max_value=lo + width,
+                null_frac=rng.choice([0.0, 0.0, rng.uniform(0.0, 0.5)]),
+            )
+        all_stats.append(TableStats(table, row_count, col_stats))
+    catalog = Catalog([Database("rnd", tables)])
+    return StatsRepository(catalog, all_stats)
+
+
+def _random_predicates(
+    rng: random.Random, stats: StatsRepository, table: str, max_preds: int
+) -> Tuple:
+    table_stats = stats.table_stats(table)
+    columns = [c.name for c in table_stats.table.columns]
+    preds = []
+    for _ in range(rng.randint(0, max_preds)):
+        name = rng.choice(columns)
+        col = ColumnRef(table, name)
+        cs = table_stats.column_stats(name)
+        if rng.random() < 0.5:
+            preds.append(EqualityPredicate(col, rng.uniform(cs.min_value, cs.max_value)))
+        else:
+            lo = rng.uniform(cs.min_value - 10.0, cs.max_value)
+            hi = lo + rng.uniform(0.0, cs.domain_width + 10.0)
+            choice = rng.random()
+            if choice < 0.33:
+                preds.append(RangePredicate(col, lo=lo, hi=None))
+            elif choice < 0.66:
+                preds.append(RangePredicate(col, lo=None, hi=hi))
+            else:
+                preds.append(RangePredicate(col, lo=lo, hi=hi))
+    return tuple(preds)
+
+
+def _random_statement(rng: random.Random, stats: StatsRepository):
+    names = sorted(t.qualified_name for t in stats.catalog.tables)
+    kind = rng.random()
+    if kind < 0.55:  # SELECT, possibly multi-table
+        k = rng.randint(1, len(names))
+        tables = tuple(rng.sample(names, k))
+        predicates = []
+        for table in tables:
+            predicates.extend(_random_predicates(rng, stats, table, 2))
+        joins = []
+        for i in range(1, len(tables)):
+            if rng.random() < 0.8:  # else a cross join step
+                left_t = tables[rng.randrange(i)]
+                right_t = tables[i]
+                left_c = rng.choice(
+                    [c.name for c in stats.table_stats(left_t).table.columns]
+                )
+                right_c = rng.choice(
+                    [c.name for c in stats.table_stats(right_t).table.columns]
+                )
+                joins.append(JoinPredicate(
+                    ColumnRef(left_t, left_c), ColumnRef(right_t, right_c)
+                ))
+        order_by = None
+        if rng.random() < 0.4:
+            table = rng.choice(tables)
+            columns = [c.name for c in stats.table_stats(table).table.columns]
+            picked = rng.sample(columns, rng.randint(1, min(2, len(columns))))
+            order_by = OrderBy(tuple(ColumnRef(table, c) for c in picked))
+        projection = ()
+        if rng.random() < 0.5:
+            table = rng.choice(tables)
+            columns = [c.name for c in stats.table_stats(table).table.columns]
+            projection = (ColumnRef(table, rng.choice(columns)),)
+        return SelectQuery(
+            tables=tables, predicates=tuple(predicates), joins=tuple(joins),
+            projection=projection, order_by=order_by,
+        )
+    table = rng.choice(names)
+    if kind < 0.75:
+        columns = [c.name for c in stats.table_stats(table).table.columns]
+        set_cols = tuple(rng.sample(columns, rng.randint(1, len(columns))))
+        return UpdateStatement(
+            table=table, set_columns=set_cols,
+            predicates=_random_predicates(rng, stats, table, 2),
+        )
+    if kind < 0.9:
+        return DeleteStatement(
+            table=table, predicates=_random_predicates(rng, stats, table, 2)
+        )
+    return InsertStatement(table=table, row_count=rng.randint(1, 500))
+
+
+def _random_candidates(
+    rng: random.Random, stats: StatsRepository, statement
+) -> List[Index]:
+    candidates = set()
+    tables = statement.tables_referenced()
+    for _ in range(rng.randint(0, 6)):
+        table = rng.choice(tables)
+        columns = [c.name for c in stats.table_stats(table).table.columns]
+        width = rng.randint(1, min(2, len(columns)))
+        candidates.add(Index(table, tuple(rng.sample(columns, width))))
+    return sorted(candidates)
+
+
+def _assert_template_matches_scalar(seed: int, enable_inlj: bool) -> None:
+    rng = random.Random(seed)
+    stats = _random_stats(rng, rng.randint(1, 3))
+    config = CostModelConfig(enable_inlj=enable_inlj)
+    model = CostModel(stats, config)
+    statement = _random_statement(rng, stats)
+    candidates = _random_candidates(rng, stats, statement)
+
+    universe = IndexUniverse(candidates)
+    covered = universe.encode(candidates)
+    template = build_plan_template(model, universe, statement, covered)
+    assert template is not None
+
+    masks = list(iter_submasks(covered))
+    if len(masks) > 24:
+        masks = [covered, 0] + rng.sample(masks, 22)
+    for mask in masks:
+        plan = model.explain(statement, universe.decode(mask))
+        cost, used_mask, plan_used_mask = template.entry(mask)
+        assert cost == plan.total_cost, (
+            f"cost mismatch at mask {mask:b}: template {cost!r} "
+            f"!= scalar {plan.total_cost!r}\n{plan.describe()}"
+        )
+        assert used_mask == universe.encode(
+            WhatIfOptimizer._used_indices(plan)
+        ), f"used-set mismatch at mask {mask:b}"
+        assert plan_used_mask == universe.encode(
+            WhatIfOptimizer._plan_indices(plan)
+        ), f"plan-used-set mismatch at mask {mask:b}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_template_matches_scalar_hash_joins(seed):
+    _assert_template_matches_scalar(seed, enable_inlj=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_template_matches_scalar_with_inlj(seed):
+    """Index-nested-loop joins stay table-local in this cost model (the
+    outer cardinality is configuration-independent), so the template must
+    price them exactly too."""
+    _assert_template_matches_scalar(seed, enable_inlj=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_whatif_mask_costs_match_scalar_cost_model(seed):
+    """End-to-end: WhatIfOptimizer's memoized/batched mask pricing equals
+    the raw CostModel, including after universe growth forces a template
+    rebuild."""
+    rng = random.Random(seed)
+    stats = _random_stats(rng, rng.randint(1, 2))
+    optimizer = WhatIfOptimizer(stats)
+    model = CostModel(stats)
+    statement = _random_statement(rng, stats)
+    candidates = _random_candidates(rng, stats, statement)
+    half = candidates[: len(candidates) // 2]
+
+    for pool in (half, candidates):  # second round grows the universe
+        full = optimizer.mask_universe.encode(pool)
+        masks = list(iter_submasks(full))
+        if len(masks) > 16:
+            masks = [full, 0] + rng.sample(masks, 14)
+        batched = optimizer.statement_costs(statement).costs(masks)
+        for mask, got in zip(masks, batched):
+            expected = model.statement_cost(
+                statement, optimizer.mask_universe.decode(mask)
+            )
+            assert got == expected

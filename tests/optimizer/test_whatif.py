@@ -195,3 +195,73 @@ class TestStatementIBG:
             )
             optimizer.statement_ibg(query, frozenset({Index(SALES, ("amount",))}))
         assert len(optimizer._ibg_cache) <= _IBG_CACHE_LIMIT
+
+
+class TestPlanTemplates:
+    """The batched costing engine behind memo misses (ISSUE 4)."""
+
+    def test_one_build_per_statement(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        a = Index(SALES, ("amount",))
+        b = Index(SALES, ("sale_date",))
+        # Candidates registered up front (the WFA/WFIT shape: parts are
+        # interned before any costing), so menus never need a rebuild.
+        optimizer.mask_universe.encode({a, b})
+        for config in (frozenset(), {a}, {b}, {a, b}):
+            optimizer.cost(query, frozenset(config))
+        stats = optimizer.cache_stats()
+        assert stats["template_builds"] == 1
+        assert stats["optimizations"] == 1          # one plan derivation total
+        assert stats["template_mask_costs"] == 4    # every miss menu-priced
+        assert stats["template_hits"] == 3
+
+    def test_universe_growth_triggers_rebuild(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        optimizer.cost(query, frozenset({Index(SALES, ("amount",))}))
+        # A new candidate on the statement's table invalidates the menus.
+        optimizer.cost(query, frozenset({Index(SALES, ("sale_date",))}))
+        assert optimizer.cache_stats()["template_builds"] == 2
+        # …but growth on an unrelated table does not.
+        optimizer.cost(
+            query,
+            frozenset({Index(SALES, ("amount",)),
+                       Index(CUSTOMERS, ("region",))}),
+        )
+        assert optimizer.cache_stats()["template_builds"] == 2
+
+    def test_template_cache_cleared_with_caches(self, toy_stats, query):
+        optimizer = WhatIfOptimizer(toy_stats)
+        optimizer.cost(query, frozenset())
+        optimizer.clear_cache()
+        optimizer.cost(query, frozenset())
+        assert optimizer.cache_stats()["template_builds"] == 2
+
+    def test_batched_plan_usage_matches_scalar(self, toy_stats):
+        from repro.optimizer import extract_indices
+        from repro.query import update
+
+        col = toy_stats.column_stats(SALES, "sale_date")
+        stmt = (
+            update(SALES)
+            .set("amount")
+            .where_between("sale_date", col.min_value, col.min_value + 30)
+            .build()
+        )
+        optimizer = WhatIfOptimizer(toy_stats)
+        universe = optimizer.mask_universe
+        full = universe.encode(extract_indices(stmt))
+        masks = [full, 0, full & -full]
+        batched = optimizer.plan_usage_masks(stmt, masks)
+        for mask, (cost, plan_used) in zip(masks, batched):
+            scalar_cost, scalar_used = optimizer.plan_usage(
+                stmt, universe.decode(mask)
+            )
+            assert cost == scalar_cost
+            assert plan_used == universe.encode(scalar_used)
+
+    def test_cache_stats_exposes_template_counters(self, toy_optimizer):
+        stats = toy_optimizer.cache_stats()
+        for key in ("template_hits", "template_builds", "template_evictions",
+                    "template_hit_rate", "template_mask_costs"):
+            assert key in stats
+        assert stats["template_hit_rate"] == 0.0

@@ -144,9 +144,9 @@ class TestObservability:
         session.execute(statement)  # identical statement: pure cache traffic
         after = optimizer.cache_stats()
         assert after["optimizations"] == before["optimizations"]
+        assert after["template_builds"] == before["template_builds"]
         gained_hits = after["statement_hits"] - before["statement_hits"]
-        gained_walks = after["ibg_mask_costs"] - before["ibg_mask_costs"]
-        assert gained_hits + gained_walks > 0
+        assert gained_hits > 0
         assert after["statement_hit_rate"] >= 0.0
 
     def test_reset_counters_clears_cache_stats(self, toy_optimizer):
