@@ -3,9 +3,12 @@
 
 Compares a fresh ``bench_kernel.py --quick`` result against the pinned
 baseline committed under ``benchmarks/results/`` so perf drift can never
-land silently. Two machine-independent checks **fail** the gate per part
-size (raw wall-clock is not comparable between the machine that pinned the
-baseline and an arbitrary CI runner):
+land silently. Rows are keyed by ``(part size, work-function kernel
+backend)`` — the numpy kernel and its pure-Python twin are pinned and
+gated independently, so a regression in the fallback cannot hide behind
+the vectorized path (or vice versa). Two machine-independent checks
+**fail** the gate per row (raw wall-clock is not comparable between the
+machine that pinned the baseline and an arbitrary CI runner):
 
 * **seed-relative throughput** — the ``speedup`` column (kernel st/s over
   the in-run seed-baseline st/s on the same machine) must not drop by more
@@ -36,14 +39,23 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 DEFAULT_BASELINE = RESULTS_DIR / "bench_kernel_quick.json"
 
 
-def _rows_by_size(payload):
-    return {row["part_size"]: row for row in payload["rows"]}
+def _rows_by_key(payload):
+    """Rows keyed by ``(part_size, backend)``.
+
+    Pre-kernel baselines carry no ``backend`` field; those rows were the
+    scalar pure-Python implementation, which the ``python`` work-function
+    kernel succeeds, so they gate that backend.
+    """
+    return {
+        (row["part_size"], row.get("backend", "python")): row
+        for row in payload["rows"]
+    }
 
 
 def compare(baseline, current, max_regression):
     """Yields (level, message) pairs; level is "FAIL" or "WARN"."""
-    base_rows = _rows_by_size(baseline)
-    cur_rows = _rows_by_size(current)
+    base_rows = _rows_by_key(baseline)
+    cur_rows = _rows_by_key(current)
     for key in ("scale", "per_phase", "seed"):
         if baseline.get(key) != current.get(key):
             yield ("FAIL", f"workload mismatch: {key} baseline="
@@ -52,33 +64,43 @@ def compare(baseline, current, max_regression):
             return
     shared = sorted(set(base_rows) & set(cur_rows))
     if not shared:
-        yield ("FAIL", "no common part sizes between baseline and current run")
+        yield ("FAIL", "no common (part size, backend) rows between "
+               "baseline and current run")
         return
+    for size, backend in sorted(base_rows):
+        if (size, backend) not in cur_rows:
+            # Legitimate on runners that cannot build the backend (no
+            # numpy interpreter) — but surface every ungated baseline row
+            # so a silently skipped measurement is at least visible.
+            yield ("WARN", f"size {size}/{backend}: baseline row has no "
+                   f"current measurement (not measured in this run; "
+                   f"not gated)")
     floor = 1.0 - max_regression
     ceiling = 1.0 + max_regression
-    for size in shared:
-        base, cur = base_rows[size], cur_rows[size]
+    for size, backend in shared:
+        label = f"size {size}/{backend}"
+        base, cur = base_rows[(size, backend)], cur_rows[(size, backend)]
         if not cur["recommendations_match"]:
-            yield ("FAIL", f"size {size}: kernel and seed recommendations "
+            yield ("FAIL", f"{label}: kernel and seed recommendations "
                    f"diverged (correctness, not perf)")
         ratio = cur["speedup"] / base["speedup"]
         if ratio < floor:
-            yield ("FAIL", f"size {size}: seed-relative throughput fell to "
+            yield ("FAIL", f"{label}: seed-relative throughput fell to "
                    f"{ratio:.2f}x of baseline "
                    f"({cur['speedup']:.2f}x vs {base['speedup']:.2f}x; "
                    f"allowed floor {floor:.2f}x)")
         else:
-            yield ("ok", f"size {size}: seed-relative throughput "
+            yield ("ok", f"{label}: seed-relative throughput "
                    f"{cur['speedup']:.2f}x vs baseline {base['speedup']:.2f}x")
         base_opts = max(1, base["kernel_optimizations"])
         opt_ratio = cur["kernel_optimizations"] / base_opts
         if opt_ratio > ceiling:
-            yield ("FAIL", f"size {size}: plan derivations grew "
+            yield ("FAIL", f"{label}: plan derivations grew "
                    f"{opt_ratio:.2f}x ({cur['kernel_optimizations']} vs "
                    f"{base['kernel_optimizations']})")
         raw_ratio = cur["kernel_stmts_per_sec"] / base["kernel_stmts_per_sec"]
         if raw_ratio < floor:
-            yield ("WARN", f"size {size}: raw kernel st/s at {raw_ratio:.2f}x "
+            yield ("WARN", f"{label}: raw kernel st/s at {raw_ratio:.2f}x "
                    f"of the pinned baseline (machine-dependent; not gated)")
 
 

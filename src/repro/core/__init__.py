@@ -7,6 +7,7 @@ from .offline import FixedPartitionResult, compute_fixed_partition
 from .opt import FeedbackEvent, OfflineOptimizer, OptimalSchedule, brute_force_opt
 from .partitioning import choose_partition, partition_loss, pairwise_loss, state_count
 from .wfa import WFA, TransitionCosts
+from .wfa_kernel import available_backends, default_backend, force_backend, make_kernel
 from .wfa_plus import WFAPlus, validate_partition
 from .wfit import WFIT
 
@@ -24,9 +25,13 @@ __all__ = [
     "WFA",
     "WFAPlus",
     "WFIT",
+    "available_backends",
     "brute_force_opt",
     "choose_partition",
     "compute_fixed_partition",
+    "default_backend",
+    "force_backend",
+    "make_kernel",
     "partition_loss",
     "pairwise_loss",
     "run_online",

@@ -50,6 +50,7 @@ of set iteration order and hence of ``PYTHONHASHSEED``).
 
 from __future__ import annotations
 
+from array import array as _array
 from typing import (
     AbstractSet,
     Dict,
@@ -284,6 +285,13 @@ class MaskDeltaTable:
     its lowest bit cleared), after which ``delta`` is two array lookups —
     the operation the WFA recommendation loop and the feedback
     consistent-configuration search execute ``O(2^k)`` times per statement.
+
+    ``create_sum`` / ``drop_sum`` are contiguous ``array('d')`` buffers:
+    indexable like the lists they replaced, and — because ``array``
+    implements the buffer protocol — zero-copy viewable as float64
+    vectors by the numpy work-function kernel
+    (:mod:`repro.core.wfa_kernel`), so the scalar ``delta()`` reads and
+    the kernel's vector gathers share one allocation.
     """
 
     __slots__ = ("create_sum", "drop_sum", "size")
@@ -294,8 +302,8 @@ class MaskDeltaTable:
         if len(create) != len(drop):
             raise ValueError("create/drop cost vectors must align")
         size = 1 << len(create)
-        create_sum = [0.0] * size
-        drop_sum = [0.0] * size
+        create_sum = _array("d", bytes(8 * size))
+        drop_sum = _array("d", bytes(8 * size))
         for mask in range(1, size):
             low = mask & -mask
             rest = mask ^ low

@@ -17,6 +17,14 @@ are fetched through the bitset kernel without constructing a single
 frozenset; a pure-``frozenset`` twin is retained in
 :mod:`repro.core.wfa_reference` as the equivalence oracle.
 
+The numerical state itself — the ``w`` vector, the per-statement cost
+vector, and the relaxation/scan/feedback loops over them — lives in an
+array-backed work-function kernel (:mod:`repro.core.wfa_kernel`):
+vectorized numpy when available, an ``array``-module pure-Python twin
+otherwise, both bit-identical to the original scalar loops. This class
+keeps the index↔mask mapping, the cost-provider plumbing, and the
+checkpoint hooks.
+
 The recommendation rule follows Figure 3: the next recommendation minimizes
 ``score(S) = w[S] + δ(S, currRec)`` subject to the ``S ∈ p[S]`` condition
 (equivalently ``w_n(S) = w_{n-1}(S) + cost(q_n, S)``), with the
@@ -34,6 +42,7 @@ from typing import AbstractSet, Callable, Dict, FrozenSet, List, Optional, Seque
 
 from ..db.index import Index
 from .bitset import MaskDeltaTable, delta_cost
+from .wfa_kernel import make_kernel
 
 __all__ = ["WFA", "CostFunction", "TransitionCosts"]
 
@@ -71,10 +80,6 @@ class TransitionCosts:
         return delta_cost(self, old, new)
 
 
-#: Absolute tolerance for float comparisons of work-function values.
-_EPS = 1e-7
-
-
 class WFA:
     """Work Function Algorithm over one part of the candidate set."""
 
@@ -101,7 +106,12 @@ class WFA:
             δ provider with ``create_cost`` / ``drop_cost``.
         work_values / recommendation:
             Optional warm-start state (used by WFIT's ``repartition``); when
-            given, they replace the default ``w0(S) = δ(S0, S)``.
+            given, they replace the default ``w0(S) = δ(S0, S)``. The
+            snapshot must assign a value to *every* configuration of the
+            part, exactly once — an incomplete or ambiguous snapshot raises
+            :class:`ValueError` (a silently defaulted ``w[S] = 0`` would
+            declare S reachable for free and corrupt every recommendation
+            after a repartition).
         """
         self._indices: Tuple[Index, ...] = tuple(sorted(set(indices)))
         if len(self._indices) > 20:
@@ -117,12 +127,14 @@ class WFA:
         self._create = [transitions.create_cost(ix) for ix in self._indices]
         self._drop = [transitions.drop_cost(ix) for ix in self._indices]
         self._size = 1 << len(self._indices)
-        # Bitset kernel state: precomputed δ prefix sums and (when the cost
+        # Bitset kernel state: precomputed δ prefix sums (shared with the
+        # work-function kernel as contiguous arrays) and (when the cost
         # provider speaks masks) each local mask re-encoded in the
         # provider's global IndexUniverse. The per-mask subset table is
         # only materialized when the slow path first needs it — there every
         # statement decodes all 2^k configurations anyway.
         self._delta_table = MaskDeltaTable(self._create, self._drop)
+        self._kernel = make_kernel(self._delta_table)
         self._mask_provider = self._detect_mask_provider(cost_fn)
         self._subsets: Optional[List[FrozenSet[Index]]] = None
         if self._mask_provider is not None:
@@ -134,18 +146,18 @@ class WFA:
                 global_masks[mask] = (
                     global_masks[mask ^ low] | bit_masks[low.bit_length() - 1]
                 )
-            self._global_masks: Optional[List[int]] = global_masks
+            # The kernel-preferred container (an int64 vector for numpy
+            # when the universe fits a machine word) — computed once: bit
+            # positions never move for the life of the universe.
+            self._global_masks = self._kernel.mask_array(global_masks)
         else:
             self._global_masks = None
 
         initial_mask = self._mask_of(initial_config)
         if work_values is not None:
-            self._w = [0.0] * self._size
-            for subset, value in work_values.items():
-                self._w[self._mask_of(subset)] = value
+            self._kernel.load_w(self._decode_work_values(work_values))
         else:
-            delta = self._delta_table.delta
-            self._w = [delta(initial_mask, mask) for mask in range(self._size)]
+            self._kernel.reset_from_delta(initial_mask)
         if recommendation is not None:
             self._rec = self._mask_of(recommendation)
         else:
@@ -206,6 +218,34 @@ class WFA:
     def _delta_masks(self, old: int, new: int) -> float:
         return self._delta_table.delta(old, new)
 
+    def _decode_work_values(
+        self, work_values: Dict[FrozenSet[Index], float]
+    ) -> List[float]:
+        """Map a ``{configuration: w}`` snapshot onto the local mask order.
+
+        Every one of the part's ``2^k`` configurations must be assigned
+        exactly once. Keys are projected onto the part (foreign indices are
+        ignored, as ever), so a snapshot whose keys alias after projection
+        is rejected as ambiguous rather than silently overlaid.
+        """
+        values: List[Optional[float]] = [None] * self._size
+        for subset, value in work_values.items():
+            mask = self._mask_of(subset)
+            if values[mask] is not None:
+                raise ValueError(
+                    "ambiguous work-function snapshot: two entries project "
+                    f"onto configuration {sorted(ix.name for ix in self._set_of(mask))!r}"
+                )
+            values[mask] = float(value)
+        missing = sum(1 for v in values if v is None)
+        if missing:
+            raise ValueError(
+                f"incomplete work-function snapshot: {missing} of "
+                f"{self._size} configurations have no value (a defaulted "
+                "w[S] = 0 would mark S reachable for free)"
+            )
+        return values  # type: ignore[return-value]
+
     @staticmethod
     def _lex_prefers(mask_a: int, mask_b: int) -> bool:
         """Appendix-B tie-break: prefer the set containing the lowest-order
@@ -230,13 +270,19 @@ class WFA:
     def statements_analyzed(self) -> int:
         return self._statements_analyzed
 
+    @property
+    def kernel_backend(self) -> str:
+        """Which work-function kernel runs this part (``numpy``/``python``)."""
+        return self._kernel.backend
+
     def recommend(self) -> FrozenSet[Index]:
         """``WFA.recommend()`` of Figure 3."""
         return self._set_of(self._rec)
 
     def work_function(self) -> Dict[FrozenSet[Index], float]:
         """Snapshot of ``w[S]`` for every configuration (for repartitioning)."""
-        return {self._set_of(mask): self._w[mask] for mask in range(self._size)}
+        values = self._kernel.export_w()
+        return {self._set_of(mask): values[mask] for mask in range(self._size)}
 
     # -- checkpoint hooks ----------------------------------------------------
 
@@ -247,10 +293,12 @@ class WFA:
         positions are defined by the part's sorted index order, which is
         deterministic, so a peer constructed over the same index set
         decodes them identically. The part's indices themselves are
-        serialized by the owner (WFIT), not here.
+        serialized by the owner (WFIT), not here. The document layout is
+        kernel-independent: a checkpoint taken on the numpy backend
+        restores onto the pure-Python one (and vice versa) unchanged.
         """
         return {
-            "w": list(self._w),
+            "w": self._kernel.export_w(),
             "recommendation_mask": self._rec,
             "statements_analyzed": self._statements_analyzed,
         }
@@ -267,24 +315,28 @@ class WFA:
         rec = int(state["recommendation_mask"])
         if not 0 <= rec < self._size:
             raise ValueError(f"recommendation mask {rec} outside the part")
-        self._w = w
+        self._kernel.load_w(w)
         self._rec = rec
         self._statements_analyzed = int(state["statements_analyzed"])
 
     def work_value(self, subset: AbstractSet[Index]) -> float:
-        return self._w[self._mask_of(subset)]
+        return self._kernel.work_value(self._mask_of(subset))
 
     def min_work(self) -> float:
         """``min_S w_n(S)`` — the optimal total work within this part."""
-        return min(self._w)
+        return self._kernel.min_work()
 
     # -- the algorithm -----------------------------------------------------------
 
-    def _statement_costs(self, statement: object) -> List[float]:
+    def _fill_costs(self, statement: object) -> None:
+        """Fetch ``cost(q, S)`` for all 2^k configurations into the kernel's
+        cost vector (no intermediate list on the mask-provider path)."""
+        out = self._kernel.costs
         if self._global_masks is not None:
-            return self._mask_provider.statement_costs(statement).costs(
-                self._global_masks
+            self._mask_provider.statement_costs(statement).costs_into(
+                self._global_masks, out
             )
+            return
         subsets = self._subsets
         if subsets is None:
             indices = self._indices
@@ -295,75 +347,26 @@ class WFA:
                 for mask in range(self._size)
             ]
         cost_fn = self._cost_fn
-        return [cost_fn(statement, subset) for subset in subsets]
+        for mask, subset in enumerate(subsets):
+            out[mask] = cost_fn(statement, subset)
 
     def analyze_statement(self, statement: object) -> FrozenSet[Index]:
-        """``WFA.analyzeQuery`` of Figure 3; returns the new recommendation."""
-        size = self._size
-        costs = self._statement_costs(statement)
-        w = self._w
+        """``WFA.analyzeQuery`` of Figure 3; returns the new recommendation.
 
-        # Stage 1: w'[S] = min_X (w[X] + cost(q, X) + δ(X, S)), via
-        # per-dimension min-plus relaxation over the separable δ.
-        new_w = [w[mask] + costs[mask] for mask in range(size)]
-        for i in range(len(self._indices)):
-            bit = 1 << i
-            create = self._create[i]
-            drop = self._drop[i]
-            for mask in range(size):
-                if mask & bit:
-                    continue
-                with_bit = mask | bit
-                lo, hi = new_w[mask], new_w[with_bit]
-                alt_hi = lo + create
-                if alt_hi < hi:
-                    new_w[with_bit] = alt_hi
-                alt_lo = hi + drop
-                if alt_lo < lo:
-                    new_w[mask] = alt_lo
-
-        self._w = new_w
+        Stage 1 (the per-dimension min-plus relaxation) and stage 2 (the
+        fused minimum-score scan under the p[S] membership condition, with
+        the Appendix-B tie-break) both run inside the array kernel.
+        """
+        self._fill_costs(statement)
         self._statements_analyzed += 1
-
-        # Stage 2: pick the next recommendation by minimum score subject to
-        # the p[S] membership condition S ∈ p[S] — equivalent to the work
-        # function having no final transition: w'[S] = w[S] + cost(q, S).
-        # The test is fused into this single scan (no O(2^k) tolerance /
-        # self-path temporaries); the δ to the current recommendation is
-        # two precomputed-prefix-sum reads. Appendix-B lexicographic
-        # tie-break on score ties.
-        create_sum = self._delta_table.create_sum
-        drop_sum = self._delta_table.drop_sum
-        rec = self._rec
-        best_mask: Optional[int] = None
-        best_score = float("inf")
-        for mask in range(size):
-            value = new_w[mask]
-            if abs(value - (w[mask] + costs[mask])) > _EPS * max(1.0, abs(value)):
-                continue
-            score = value + create_sum[rec & ~mask] + drop_sum[mask & ~rec]
-            if best_mask is None:
-                best_mask, best_score = mask, score
-                continue
-            margin = _EPS * max(1.0, abs(score), abs(best_score))
-            if score < best_score - margin:
-                best_mask, best_score = mask, score
-            elif abs(score - best_score) <= margin and self._lex_prefers(mask, best_mask):
-                best_mask, best_score = mask, score
-        if best_mask is None:
-            # Numerically impossible per Lemma 9.2 of [3], but stay robust:
-            # fall back to the plain minimum-score state.
-            best_mask = min(
-                range(size),
-                key=lambda m: (new_w[m] + self._delta_masks(m, rec), m),
-            )
-        self._rec = best_mask
+        self._rec = self._kernel.analyze(self._rec)
         return self.recommend()
 
     def scores(self) -> Dict[FrozenSet[Index], float]:
         """Current ``score(S) = w[S] + δ(S, currRec)`` for every S (debug/tests)."""
+        values = self._kernel.export_w()
         return {
-            self._set_of(mask): self._w[mask] + self._delta_masks(mask, self._rec)
+            self._set_of(mask): values[mask] + self._delta_masks(mask, self._rec)
             for mask in range(self._size)
         }
 
@@ -383,24 +386,5 @@ class WFA:
         minus_mask = self._mask_of(f_minus)
         if plus_mask & minus_mask:
             raise ValueError("F+ and F- must be disjoint")
-        new_rec = (self._rec & ~minus_mask) | plus_mask
-        self._rec = new_rec
-        w = self._w
-        rec_value = w[new_rec]
-        table = self._delta_table
-        create_sum = table.create_sum
-        drop_sum = table.drop_sum
-        for mask in range(self._size):
-            consistent = (mask & ~minus_mask) | plus_mask
-            # δ(mask, consistent) + δ(consistent, mask) — a round trip over
-            # exactly the bits the votes flip.
-            min_diff = table.round_trip(mask ^ consistent)
-            diff = (
-                w[mask]
-                + create_sum[new_rec & ~mask]
-                + drop_sum[mask & ~new_rec]
-                - rec_value
-            )
-            if diff < min_diff:
-                w[mask] += min_diff - diff
+        self._rec = self._kernel.feedback(plus_mask, minus_mask, self._rec)
         return self.recommend()

@@ -94,6 +94,14 @@ class WFAPlus:
         return max((len(part) for part in self._parts), default=0)
 
     @property
+    def kernel_backend(self) -> str:
+        """The work-function kernel backend(s) the parts run on (mixed
+        partitions report e.g. ``"numpy+python"``)."""
+        from .wfa_kernel import combined_backend
+
+        return combined_backend(self._instances)
+
+    @property
     def statements_analyzed(self) -> int:
         return self._statements_analyzed
 

@@ -64,9 +64,25 @@ class ReferenceWFA:
 
         initial_mask = self._mask_of(initial_config)
         if work_values is not None:
-            self._w = [0.0] * self._size
+            # Same warm-start validation as the kernel WFA (fixed in
+            # lockstep): a silently defaulted w[S] = 0 marks S reachable
+            # for free, and aliasing keys must not silently overlay.
+            values: List[Optional[float]] = [None] * self._size
             for subset, value in work_values.items():
-                self._w[self._mask_of(subset)] = value
+                mask = self._mask_of(subset)
+                if values[mask] is not None:
+                    raise ValueError(
+                        "ambiguous work-function snapshot: two entries "
+                        "project onto one configuration"
+                    )
+                values[mask] = float(value)
+            missing = sum(1 for v in values if v is None)
+            if missing:
+                raise ValueError(
+                    f"incomplete work-function snapshot: {missing} of "
+                    f"{self._size} configurations have no value"
+                )
+            self._w = values  # type: ignore[assignment]
         else:
             self._w = [
                 self._delta_masks(initial_mask, mask) for mask in range(self._size)
@@ -196,10 +212,19 @@ class ReferenceWFA:
             elif abs(score - best_score) <= margin and self._lex_prefers(mask, best_mask):
                 best_mask, best_score = mask, score
         if best_mask is None:
-            best_mask = min(
-                range(size),
-                key=lambda m: (new_w[m] + self._delta_masks(m, self._rec), m),
-            )
+            # Unreachable numerically (the arg-min of stage 1 always keeps
+            # its self path), but stay robust: plain minimum score, exact
+            # ties resolved by the same Appendix-B rule as the main scan.
+            # (The seed broke ties ascending-by-mask here, contradicting
+            # its own _lex_prefers; fixed in lockstep with the kernel.)
+            best_mask = 0
+            best_score = new_w[0] + self._delta_masks(0, self._rec)
+            for mask in range(1, size):
+                score = new_w[mask] + self._delta_masks(mask, self._rec)
+                if score < best_score or (
+                    score == best_score and self._lex_prefers(mask, best_mask)
+                ):
+                    best_mask, best_score = mask, score
         self._rec = best_mask
         return self.recommend()
 

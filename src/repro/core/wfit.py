@@ -150,6 +150,14 @@ class WFIT:
     def tracked_states(self) -> int:
         return sum(instance.state_count for instance in self._instances)
 
+    @property
+    def kernel_backend(self) -> str:
+        """The work-function kernel backend(s) the parts run on (mixed
+        partitions report e.g. ``"numpy+python"``)."""
+        from .wfa_kernel import combined_backend
+
+        return combined_backend(self._instances)
+
     def recommend(self) -> FrozenSet[Index]:
         """``WFIT.recommend()``: the current recommendation ⋃_k currRec_k."""
         out: set = set()

@@ -43,6 +43,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+try:  # Optional: the vectorized costs_into() path. Pure-Python callers
+    import numpy as _np  # (and the no-numpy CI lane) use the int loop.
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
 from ..core.bitset import IndexUniverse
 from ..db.index import Index
 from ..db.stats import StatsRepository
@@ -96,8 +101,30 @@ class StatementCosts:
         ``2^k`` configuration costs from a single plan derivation. Repeat
         masks are answered from the shared memo with one int-dict probe.
         """
+        out: List[float] = [0.0] * len(config_masks)
+        self.costs_into(config_masks, out)
+        return out
+
+    def costs_into(self, config_masks: Sequence[int], out) -> None:
+        """:meth:`costs`, written into a caller-owned float buffer.
+
+        ``out`` may be any float container supporting ``__setitem__``
+        (``array('d')``, a numpy vector, a list); this is how WFA⁺/WFIT
+        parts fetch statement costs directly into the work-function
+        kernel's cost vector without building a ``2^k`` Python list per
+        statement.
+
+        When ``config_masks`` and ``out`` are both numpy vectors (the
+        numpy-kernel hot path), relevance reduction runs vectorized: the
+        batch collapses to its *distinct* relevant masks (one ``&`` plus
+        one ``unique`` over int64), only those hit the memo/template, and
+        the answers broadcast back with one gather. Cache accounting is
+        identical either way — a request answered without pricing work is
+        a hit whether it was deduplicated or individually probed.
+        """
         optimizer = self._optimizer
-        optimizer.whatif_calls += len(config_masks)
+        n = len(config_masks)
+        optimizer.whatif_calls += n
         statement = self._statement
         # Recomputed per batch: the universe may have grown (new indices on
         # this statement's tables) since the handle was created.
@@ -105,19 +132,45 @@ class StatementCosts:
         cache = self._cache
         cache_get = cache.get
         optimize = optimizer._optimize_relevant
-        out: List[float] = []
-        append = out.append
+        if (
+            _np is not None
+            and isinstance(config_masks, _np.ndarray)
+            and isinstance(out, _np.ndarray)
+            and 0 <= tables_mask < (1 << 63)
+        ):
+            relevant = _np.bitwise_and(config_masks, tables_mask)
+            uniq, inverse = _np.unique(relevant, return_inverse=True)
+            values = _np.empty(len(uniq), dtype=_np.float64)
+            miss_masks: List[int] = []
+            miss_positions: List[int] = []
+            for j, rel in enumerate(uniq.tolist()):
+                entry = cache_get(rel)
+                if entry is None:
+                    miss_masks.append(rel)
+                    miss_positions.append(j)
+                else:
+                    values[j] = entry[0]
+            if miss_masks:
+                optimizer._price_relevant_batch(
+                    statement, miss_masks, cache, values, miss_positions
+                )
+            _np.take(values, inverse.reshape(-1), out=out)
+            optimizer._stmt_hits += n - len(miss_masks)
+            return
+        if _np is not None and isinstance(config_masks, _np.ndarray):
+            # Universe beyond 63 bits: the int64 vector cannot carry the
+            # table mask — rewiden to Python ints and take the int loop.
+            config_masks = config_masks.tolist()
         hits = 0
-        for mask in config_masks:
+        for i, mask in enumerate(config_masks):
             relevant = mask & tables_mask
             entry = cache_get(relevant)
             if entry is None:
                 entry = optimize(statement, relevant, cache)
             else:
                 hits += 1
-            append(entry[0])
+            out[i] = entry[0]
         optimizer._stmt_hits += hits
-        return out
 
 
 class WhatIfOptimizer:
@@ -292,6 +345,46 @@ class WhatIfOptimizer:
             )
         cache[relevant_mask] = entry
         return entry
+
+    def _price_relevant_batch(
+        self,
+        statement: Statement,
+        relevant_masks: List[int],
+        cache: Dict[int, _Entry],
+        values,
+        positions: List[int],
+    ) -> None:
+        """Price a batch of distinct memo-missing relevant masks at once.
+
+        The batched twin of :meth:`_optimize_relevant`: the statement's
+        plan template is fetched *once* for the whole batch and the masks
+        are priced through :meth:`PlanTemplate.costs_into`; statements the
+        template engine cannot model fall back to the scalar oracle per
+        mask. Entries land in the shared memo and their costs in
+        ``values`` at the given ``positions``.
+        """
+        self._stmt_misses += len(relevant_masks)
+        template = self._statement_template(statement)
+        if template is not None:
+            costs = [0.0] * len(relevant_masks)
+            entries = template.costs_into(relevant_masks, costs)
+            self._template_mask_costs += len(relevant_masks)
+            for rel, entry in zip(relevant_masks, entries):
+                cache[rel] = entry
+            for pos, cost in zip(positions, costs):
+                values[pos] = cost
+            return
+        universe = self._universe
+        for pos, rel in zip(positions, relevant_masks):
+            self.optimizations += 1
+            plan = self._model.explain(statement, universe.decode(rel))
+            entry = (
+                plan.total_cost,
+                universe.encode(self._used_indices(plan)),
+                universe.encode(self._plan_indices(plan)),
+            )
+            cache[rel] = entry
+            values[pos] = entry[0]
 
     def _lookup_mask(self, statement: Statement, config_mask: int) -> _Entry:
         self.whatif_calls += 1

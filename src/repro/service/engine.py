@@ -464,21 +464,29 @@ class TuningEngine:
 
     # -- checkpoint / restore --------------------------------------------------
 
-    def checkpoint(self, extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    def checkpoint(
+        self,
+        extra: Optional[Dict[str, object]] = None,
+        drain: bool = True,
+    ) -> Dict[str, object]:
         """Serialize the full engine state to a versioned JSON document.
 
-        Drains submissions pending at entry first (the snapshot is taken
-        between micro-batches, never inside one), so the document reflects
-        a consistent tuner state; statements submitted concurrently after
-        the drain are simply *after* the checkpoint — they stay queued in
-        this live engine and are not part of the document. ``extra`` is
-        stored verbatim under the ``"extra"`` key (the replay CLI stashes
-        trace parameters there).
+        The snapshot is taken between micro-batches, never inside one.
+        With ``drain=True`` (the default) submissions pending at entry are
+        analyzed first; with ``drain=False`` the checkpoint returns
+        without paying for their analysis — either way, whatever remains
+        queued at the snapshot point (the whole backlog when not
+        draining, or statements submitted concurrently with the drain) is
+        serialized into the document's ``"pending"`` list and replayed by
+        :meth:`restore`, so no submitted statement is ever dropped from a
+        checkpoint. ``extra`` is stored verbatim under the ``"extra"``
+        key (the replay CLI stashes trace parameters there).
         """
         from .snapshot import checkpoint_engine
 
         with self._pump_lock:
-            self.pump()
+            if drain:
+                self.pump()
             return checkpoint_engine(self, extra=extra)
 
     @classmethod

@@ -12,7 +12,11 @@ step-identically:
   (:meth:`repro.core.bitset.IndexUniverse.export_order`), so restored
   masks and cache layouts reproduce the original run exactly;
 * the engine's materialized set, totWork accounting, and per-session
-  audit logs.
+  audit logs;
+* the *pending queue* — statements submitted but not yet pumped at the
+  snapshot point (version 2). They are serialized as SQL and re-submitted
+  on restore, so a crash between submit and pump no longer loses work
+  (the ROADMAP's WAL gap, closed at the checkpoint layer).
 
 Costs themselves are *not* serialized: they are deterministic functions of
 ``(statement, configuration)`` under the analytical cost model, so a fresh
@@ -42,28 +46,41 @@ __all__ = [
     "save_checkpoint",
 ]
 
-#: Format version of engine checkpoint documents.
-SNAPSHOT_VERSION = 1
+#: Format version of engine checkpoint documents. Version 2 added the
+#: ``"pending"`` list (submitted-but-unpumped statements); version-1
+#: documents — which could not carry a queue — still restore.
+SNAPSHOT_VERSION = 2
+
+#: Versions :func:`restore_engine` accepts.
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def checkpoint_engine(engine, extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     """Serialize ``engine`` between micro-batches.
 
-    Prefer ``TuningEngine.checkpoint()``, which drains pending
-    submissions first. Statements still queued (or submitted
-    concurrently) are *not* part of the document — they remain in the
-    live engine's queue, to be processed after the snapshot point — so
-    each session's serialized ``submitted`` counter equals its
-    ``processed`` count: the restored engine has seen exactly what it
-    has analyzed.
+    Prefer ``TuningEngine.checkpoint()``, which manages the writer lock
+    and (by default) drains first. Statements still queued at the
+    snapshot point — submitted concurrently with a draining checkpoint,
+    or deliberately left queued by ``checkpoint(drain=False)`` — are
+    serialized under ``"pending"`` in submission order and re-submitted
+    by :func:`restore_engine`, so the restored engine analyzes exactly
+    the statements the original would have. Each session's serialized
+    ``submitted`` counter equals its ``processed`` count; replaying the
+    pending list restores the original submission counts.
     """
+    from ..query.parser import to_sql
+
     with engine._pump_lock:
-        # Client registration happens under the ingest lock (a concurrent
-        # first-ever submit inserts into the table); snapshot it before
-        # iterating. Per-client processed counts and events only mutate
-        # under the pump lock we already hold.
+        # Client registration and the queue mutate under the ingest lock
+        # (a concurrent first-ever submit inserts into the table);
+        # snapshot both before iterating. Per-client processed counts and
+        # events only mutate under the pump lock we already hold.
         with engine._ingest_lock:
             clients = sorted(engine._clients.items())
+            pending = [
+                {"client_id": client_id, "sql": to_sql(statement)}
+                for client_id, statement in engine._queue
+            ]
         document: Dict[str, object] = {
             "version": SNAPSHOT_VERSION,
             "batch_size": engine.batch_size,
@@ -95,6 +112,7 @@ def checkpoint_engine(engine, extra: Optional[Dict[str, object]] = None) -> Dict
                 }
                 for _, state in clients
             ],
+            "pending": pending,
         }
     if extra is not None:
         document["extra"] = extra
@@ -115,10 +133,10 @@ def restore_engine(
     from .engine import SessionEvent, TuningEngine
 
     version = document.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported engine checkpoint version {version!r} "
-            f"(expected {SNAPSHOT_VERSION})"
+            f"(supported: {_SUPPORTED_VERSIONS})"
         )
     optimizer.mask_universe.extend_order(
         Index.from_payload(payload) for payload in document["universe_order"]
@@ -154,6 +172,13 @@ def restore_engine(
             SessionEvent(str(kind), str(detail), int(position))
             for kind, detail, position in item["events"]
         ]
+    # Replay the pending queue (version ≥ 2; absent in version-1
+    # documents) in submission order: the statements re-enter the queue
+    # un-analyzed, exactly as they stood at the snapshot point, and the
+    # next pump processes them. submit() re-increments the per-session
+    # submitted counters past the serialized processed counts.
+    for item in document.get("pending", ()):
+        engine.submit(str(item["client_id"]), str(item["sql"]))
     return engine
 
 

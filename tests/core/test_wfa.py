@@ -107,6 +107,46 @@ class TestWFABasics:
         for subset, value in snapshot.items():
             assert clone.work_value(subset) == value
 
+    def test_incomplete_warm_start_snapshot_rejected(self):
+        """Regression: a warm start missing configurations used to default
+        them to w = 0.0 — an impossible "free" state that corrupts every
+        recommendation after a repartition. It must raise instead."""
+        indices = make_indices(2)
+        partial = {
+            frozenset(): 3.0,
+            frozenset({indices[0]}): 5.0,
+            # {indices[1]} and {indices[0], indices[1]} missing
+        }
+        with pytest.raises(ValueError, match="incomplete work-function"):
+            WFA(
+                indices,
+                frozenset(),
+                lambda q, X: 1.0,
+                TransitionCosts(),
+                work_values=partial,
+            )
+
+    def test_ambiguous_warm_start_snapshot_rejected(self):
+        """Keys that alias after projection onto the part (foreign indices
+        are ignored) must not silently overlay each other."""
+        indices = make_indices(2)
+        foreign = Index("other.t", ("x",))
+        snapshot = {
+            frozenset(): 3.0,
+            frozenset({foreign}): 4.0,  # projects onto {} too
+            frozenset({indices[0]}): 5.0,
+            frozenset({indices[1]}): 6.0,
+            frozenset(indices): 7.0,
+        }
+        with pytest.raises(ValueError, match="ambiguous work-function"):
+            WFA(
+                indices,
+                frozenset(),
+                lambda q, X: 1.0,
+                TransitionCosts(),
+                work_values=snapshot,
+            )
+
     def test_strong_benefit_triggers_creation(self):
         indices = make_indices(1)
         a = indices[0]

@@ -115,6 +115,34 @@ class TestAutoMode:
                 # came from the subsequent WFA analysis
                 assert tuner.recommend() >= before - tuner.candidates
 
+    def test_repartition_warm_start_covers_every_configuration(self, env):
+        """Regression for the warm-start default-zero bug: WFA now rejects
+        incomplete work-function snapshots, so every repartition must hand
+        each new part a *complete* snapshot — and the warm-started values
+        must satisfy the work-function spread bound (no configuration may
+        look reachable for free the way a silently defaulted 0.0 did)."""
+        optimizer, transitions, stats = env
+        tuner = WFIT(optimizer, transitions, idx_cnt=10, state_cnt=128)
+        lo, hi = narrow(stats, SALES, "amount")
+        lo2, hi2 = narrow(stats, SALES, "sale_date")
+        queries = [
+            select(SALES).where_between("amount", lo, hi).build(),
+            select(SALES).where_between("sale_date", lo2, hi2).build(),
+            select(CUSTOMERS).where_between(
+                "region", *narrow(stats, CUSTOMERS, "region", 0.1)
+            ).build(),
+        ]
+        for step in range(30):
+            # Raises ValueError inside _repartition if any snapshot came
+            # out incomplete.
+            tuner.analyze_statement(queries[step % len(queries)])
+        assert tuner.repartition_count > 0
+        for instance in tuner._instances:
+            values = instance.work_function()
+            for s, ws in values.items():
+                for t, wt in values.items():
+                    assert ws <= wt + transitions.delta(t, s) + 1e-6
+
     def test_assume_independence_singletons(self, env):
         optimizer, transitions, stats = env
         tuner = WFIT(

@@ -158,20 +158,22 @@ class TestObservability:
 
 
 class TestCheckpointWithPendingSubmissions:
-    def test_pending_submissions_stay_queued_and_are_not_serialized(
+    def test_pending_submissions_are_serialized_and_stay_queued(
         self, engine, toy_stats
     ):
-        from repro.service import checkpoint_engine
-
         engine.session("a").execute(narrow_sql(toy_stats))
-        engine.submit("a", narrow_sql(toy_stats))
-        engine.submit("a", narrow_sql(toy_stats))
-        # Direct snapshot without draining: the pending statements are
-        # after the checkpoint — excluded from the document, kept queued.
-        document = checkpoint_engine(engine)
+        engine.submit("a", narrow_sql(toy_stats, offset=0.1))
+        engine.submit("b", narrow_sql(toy_stats, offset=0.2))
+        # Snapshot without draining: the backlog is serialized into the
+        # document (in submission order) *and* kept queued in the live
+        # engine — a crash after this point loses nothing.
+        document = engine.checkpoint(drain=False)
         assert engine.queue_depth == 2
-        (session_doc,) = document["sessions"]
-        assert session_doc["submitted"] == session_doc["processed"] == 1
+        assert [item["client_id"] for item in document["pending"]] == ["a", "b"]
+        session_a = next(
+            s for s in document["sessions"] if s["client_id"] == "a"
+        )
+        assert session_a["submitted"] == session_a["processed"] == 1
         assert document["accounting"]["statements_processed"] == 1
         assert engine.pump() == 2  # the live engine still owns the backlog
 
@@ -180,3 +182,55 @@ class TestCheckpointWithPendingSubmissions:
         document = engine.checkpoint()
         assert engine.queue_depth == 0
         assert document["accounting"]["statements_processed"] == 1
+        assert document["pending"] == []
+
+    def test_restore_replays_pending_statements(self, engine, toy_stats):
+        """The ROADMAP gap: submitted-but-unpumped statements used to be
+        silently dropped from checkpoints. They must replay on restore."""
+        shadow = TuningEngine(
+            WhatIfOptimizer(toy_stats),
+            StatsTransitionCosts(toy_stats),
+            batch_size=4,
+            idx_cnt=8,
+            state_cnt=64,
+        )
+        statements = [narrow_sql(toy_stats, offset=i * 0.05) for i in range(5)]
+        for engine_ in (engine, shadow):
+            for sql in statements[:2]:
+                engine_.submit("a", sql)
+            engine_.pump()
+            for sql in statements[2:]:
+                engine_.submit("a", sql)
+        document = engine.checkpoint(drain=False)
+        assert len(document["pending"]) == 3
+
+        restored = TuningEngine.restore(
+            document,
+            WhatIfOptimizer(toy_stats),
+            StatsTransitionCosts(toy_stats),
+        )
+        assert restored.queue_depth == 3
+        assert restored.pump() == 3
+        shadow.pump()
+        # The restored engine caught up with an uninterrupted twin.
+        assert restored.statements_processed == shadow.statements_processed == 5
+        assert (
+            restored.tuner.recommend() == shadow.tuner.recommend()
+        )
+        assert restored.total_work == pytest.approx(shadow.total_work)
+        state = restored._client("a")
+        assert state.submitted == state.processed == 5
+
+    def test_version_1_documents_still_restore(self, engine, toy_stats):
+        engine.session("a").execute(narrow_sql(toy_stats))
+        document = engine.checkpoint()
+        # A pre-pending-queue document: no "pending" key, version 1.
+        document.pop("pending")
+        document["version"] = 1
+        restored = TuningEngine.restore(
+            document,
+            WhatIfOptimizer(toy_stats),
+            StatsTransitionCosts(toy_stats),
+        )
+        assert restored.statements_processed == 1
+        assert restored.queue_depth == 0
