@@ -350,17 +350,47 @@ class WFA:
         for mask, subset in enumerate(subsets):
             out[mask] = cost_fn(statement, subset)
 
-    def analyze_statement(self, statement: object) -> FrozenSet[Index]:
-        """``WFA.analyzeQuery`` of Figure 3; returns the new recommendation.
+    def prepare_statement(self, statement: object) -> None:
+        """Phase 1 of :meth:`analyze_statement`: fetch the statement's costs.
+
+        This is the half of the update that touches *shared* state — the
+        what-if optimizer's memo, template, and IBG caches (and their
+        accounting counters) — so WFIT runs it serially, on the ingest
+        thread, for every part in fixed part order. After it returns, the
+        part's cost vector is fully populated and :meth:`relax` needs
+        nothing outside this instance.
+        """
+        self._fill_costs(statement)
+
+    def relax(self) -> FrozenSet[Index]:
+        """Phase 2 of :meth:`analyze_statement`: run the kernel update.
 
         Stage 1 (the per-dimension min-plus relaxation) and stage 2 (the
         fused minimum-score scan under the p[S] membership condition, with
         the Appendix-B tie-break) both run inside the array kernel.
+
+        Thread-safety contract: this method reads and writes only state
+        owned by this instance — the kernel's ``w``/cost/scratch buffers
+        (allocated per instance, never shared; see
+        :mod:`repro.core.wfa_kernel`), ``_rec``, and
+        ``_statements_analyzed`` — so relaxations of *different* parts may
+        run concurrently on a worker pool. The per-part updates are
+        independent by the paper's §4 stability condition, so the result
+        is bit-identical to running them serially in part order.
         """
-        self._fill_costs(statement)
         self._statements_analyzed += 1
         self._rec = self._kernel.analyze(self._rec)
         return self.recommend()
+
+    def analyze_statement(self, statement: object) -> FrozenSet[Index]:
+        """``WFA.analyzeQuery`` of Figure 3; returns the new recommendation.
+
+        Exactly :meth:`prepare_statement` followed by :meth:`relax` — the
+        split exists so WFIT can serialize the shared-cache phase while
+        fanning the pure per-part kernel phase out to a worker pool.
+        """
+        self.prepare_statement(statement)
+        return self.relax()
 
     def scores(self) -> Dict[FrozenSet[Index], float]:
         """Current ``score(S) = w[S] + δ(S, currRec)`` for every S (debug/tests)."""

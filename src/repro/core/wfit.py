@@ -17,11 +17,32 @@ WFIT wraps an array of per-part :class:`~repro.core.wfa.WFA` instances
 
 Passing ``fixed_partition`` disables candidate maintenance, yielding the
 configuration most of the paper's experiments use (WFIT ≡ WFA⁺ + feedback).
+
+Partition-parallel updates
+--------------------------
+The §4 stability condition makes per-part WFA state disjoint by
+construction, so the per-statement work-function updates of different
+parts are independent. With ``workers > 1`` (constructor knob, or the
+``REPRO_WORKERS`` environment variable), :meth:`WFIT.analyze_statement`
+splits each update into two phases: the shared-cache cost fetch
+(:meth:`~repro.core.wfa.WFA.prepare_statement`) runs serially in fixed
+part order — it touches the one shared what-if optimizer — and the pure
+per-part kernel relaxation (:meth:`~repro.core.wfa.WFA.relax`) fans out
+to a thread pool. Recommendations are then merged in fixed part order.
+``workers=1`` (the default) is the bit-identical serial oracle; any
+worker count produces exactly the same recommendations, work-function
+vectors, and totWork, because the fanned-out phase touches only
+per-part-owned kernel buffers (see :mod:`repro.core.wfa_kernel`'s
+threading contract). Threads genuinely overlap only on the numpy kernel
+backend, which releases the GIL inside its vector ops.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..db.index import Index
@@ -35,7 +56,31 @@ from .partitioning import choose_partition, state_count
 from .wfa import WFA
 from .wfa_plus import validate_partition
 
-__all__ = ["WFIT"]
+__all__ = ["WFIT", "resolve_workers"]
+
+#: Environment knob for the default per-part worker-pool size. ``workers``
+#: passed to :class:`WFIT` (or :class:`~repro.service.engine.TuningEngine`)
+#: wins over the environment; unset/empty means serial (1).
+_WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit value, else ``REPRO_WORKERS``,
+    else 1 (the bit-identical serial mode)."""
+    if workers is None:
+        raw = os.environ.get(_WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{_WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
 
 
 class WFIT:
@@ -63,6 +108,12 @@ class WFIT:
         and interaction statistics are ignored (``doi ≡ 0``).
     seed:
         Seed for the randomized partitioning.
+    workers:
+        Size of the per-part worker pool for the statement-update fan-out
+        (None: ``REPRO_WORKERS``, else 1). Any value yields bit-identical
+        results; 1 runs the serial oracle path with zero pool overhead.
+        A runtime execution knob, not algorithm state — checkpoints do
+        not serialize it.
     """
 
     def __init__(
@@ -80,6 +131,7 @@ class WFIT:
         max_ibg_nodes: int = 4096,
         create_penalty_factor: Optional[float] = None,
         partition_refresh_period: int = 10,
+        workers: Optional[int] = None,
     ) -> None:
         self._optimizer = optimizer
         self._transitions = transitions
@@ -96,6 +148,13 @@ class WFIT:
         self._rng = random.Random(seed)
         self._max_ibg_nodes = max_ibg_nodes
         self._cost_fn = optimizer.cost
+        # Partition-parallel fan-out state: the pool is created lazily on
+        # the first parallel section (workers == 1 never builds one).
+        self._workers = resolve_workers(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._parallel_sections = 0
+        self._parallel_wall_seconds = 0.0
+        self._parallel_busy_seconds = 0.0
 
         self._n = 0  # statements analyzed so far
         self.statistics = IndexStatistics(hist_size)
@@ -157,6 +216,46 @@ class WFIT:
         from .wfa_kernel import combined_backend
 
         return combined_backend(self._instances)
+
+    @property
+    def workers(self) -> int:
+        """Worker-pool size for the per-part statement-update fan-out."""
+        return self._workers
+
+    def parallel_stats(self) -> Dict[str, float]:
+        """Cumulative fan-out accounting since construction.
+
+        ``parallel_efficiency`` is busy-time over ``wall × workers`` across
+        all parallel sections — 1.0 means every worker was saturated for
+        the whole section, 1/workers means the fan-out bought nothing over
+        serial (e.g. the pure-Python kernel backend, which holds the GIL).
+        All zero until the first parallel section (``workers == 1`` never
+        has one).
+        """
+        wall = self._parallel_wall_seconds
+        efficiency = (
+            self._parallel_busy_seconds / (wall * self._workers)
+            if wall > 0.0
+            else 0.0
+        )
+        return {
+            "workers": self._workers,
+            "parallel_sections": self._parallel_sections,
+            "parallel_wall_seconds": wall,
+            "parallel_busy_seconds": self._parallel_busy_seconds,
+            "parallel_efficiency": efficiency,
+        }
+
+    def close(self) -> None:
+        """Shut down the fan-out worker pool (idempotent).
+
+        Only releases execution resources; the tuner remains fully usable
+        afterwards — the next parallel section simply rebuilds the pool.
+        """
+        pool = self._pool
+        if pool is not None:
+            self._pool = None
+            pool.shutdown(wait=True)
 
     def recommend(self) -> FrozenSet[Index]:
         """``WFIT.recommend()``: the current recommendation ⋃_k currRec_k."""
@@ -289,15 +388,76 @@ class WFIT:
     # -- the public interface (Figure 4) ------------------------------------------------
 
     def analyze_statement(self, statement: object) -> FrozenSet[Index]:
-        """``WFIT.analyzeQuery(q)``: maintain candidates, then run WFA⁺."""
+        """``WFIT.analyzeQuery(q)``: maintain candidates, then run WFA⁺.
+
+        The per-part work-function updates run in two phases: the
+        shared-cache cost fetch serially in fixed part order, then the
+        per-part kernel relaxations — serially with ``workers == 1`` (the
+        deterministic oracle), else fanned out to the worker pool.
+        Recommendations merge in fixed part order either way, and the two
+        paths are bit-identical (per-part state is disjoint under the §4
+        stability condition).
+        """
         self._n += 1
         if self._auto:
             new_parts = self._choose_candidates(statement)
             if sorted(map(sorted, new_parts)) != sorted(map(sorted, self._parts)):
                 self._repartition(new_parts)
         for instance in self._instances:
-            instance.analyze_statement(statement)
+            instance.prepare_statement(statement)
+        self._relax_all()
         return self.recommend()
+
+    def _relax_all(self) -> None:
+        """Run every part's kernel relaxation, fanned out when configured.
+
+        Parts are dealt round-robin across ``workers`` slices (part ``i``
+        to slice ``i mod workers``), one pool task per slice; each task
+        relaxes its parts in ascending part order. The deal is purely an
+        execution schedule — parts are state-disjoint, so any schedule
+        yields the serial path's exact result. Worker exceptions propagate
+        to the caller after all slices finish.
+        """
+        instances = self._instances
+        if self._workers <= 1 or len(instances) <= 1:
+            for instance in instances:
+                instance.relax()
+            return
+        pool = self._pool
+        if pool is None:
+            pool = self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="wfit-part"
+            )
+        slices = [
+            instances[slot :: self._workers] for slot in range(self._workers)
+        ]
+        slices = [chunk for chunk in slices if chunk]
+        busy = [0.0] * len(slices)
+
+        def _run(slot: int, chunk: List[WFA]) -> None:
+            started = time.perf_counter()
+            try:
+                for instance in chunk:
+                    instance.relax()
+            finally:
+                busy[slot] = time.perf_counter() - started
+
+        wall_start = time.perf_counter()
+        futures = [
+            pool.submit(_run, slot, chunk) for slot, chunk in enumerate(slices)
+        ]
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+        self._parallel_sections += 1
+        self._parallel_wall_seconds += time.perf_counter() - wall_start
+        self._parallel_busy_seconds += sum(busy)
+        if error is not None:
+            raise error
 
     def feedback(
         self, f_plus: AbstractSet[Index], f_minus: AbstractSet[Index]
@@ -335,6 +495,10 @@ class WFIT:
         benefit/interaction statistics, the universe U, the randomized
         partitioner's RNG state, and the construction knobs. Restore with
         :meth:`restore_state` against an equivalent optimizer/δ provider.
+        ``workers`` is deliberately *not* serialized: it is an execution
+        knob with no effect on results, so a snapshot taken at any worker
+        count restores onto any other (the restoring host picks its own
+        pool size).
         """
         rng_version, rng_internal, rng_gauss = self._rng.getstate()
         return {

@@ -11,6 +11,11 @@ way for concurrent traffic:
   :class:`~repro.core.wfit.WFIT` instance. :meth:`~TuningEngine.pump` is
   the deterministic synchronous drain (what tests and the replay CLI use);
   :meth:`~TuningEngine.start` runs the same loop on a background thread.
+  With ``workers > 1`` the single writer additionally fans each
+  statement's per-part kernel relaxations out to the tuner's worker pool
+  (partition-parallel ingest; bit-identical to ``workers=1``, which
+  remains the default and the determinism oracle — see
+  :mod:`repro.core.wfit`).
 * **Shared caches** — every session's statements flow through one
   :class:`~repro.optimizer.whatif.WhatIfOptimizer`, so overlapping
   workloads pay for each plan optimization once
@@ -98,10 +103,12 @@ class Recommendation:
         return self.recommended == self.materialized
 
 
-#: Per-client analyze-latency samples retained for percentile reporting.
-#: A bounded window keeps the engine's footprint flat over unbounded
-#: statement streams; p50/p95 then describe recent behavior, which is what
-#: an operator watching a live engine wants anyway.
+#: Default per-client analyze-latency window retained for percentile
+#: reporting (override per engine with the ``latency_window`` constructor
+#: knob). A bounded window keeps the engine's footprint flat over unbounded
+#: statement streams — an unbounded per-statement append is a memory leak
+#: in any long-lived session; p50/p95 then describe recent behavior, which
+#: is what an operator watching a live engine wants anyway.
 _LATENCY_WINDOW = 4096
 
 
@@ -110,15 +117,16 @@ class _ClientState:
 
     __slots__ = ("client_id", "submitted", "processed", "events", "latencies")
 
-    def __init__(self, client_id: str) -> None:
+    def __init__(self, client_id: str, latency_window: int) -> None:
         self.client_id = client_id
         self.submitted = 0
         self.processed = 0
         self.events: List[SessionEvent] = []
-        # Wall-clock seconds each of the client's statements spent inside
-        # the shared core (analysis + totWork accounting). Ephemeral
-        # observability: not part of checkpoint documents.
-        self.latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        # Wall-clock seconds each of the client's last ``latency_window``
+        # statements spent inside the shared core (analysis + totWork
+        # accounting). Ephemeral observability: not part of checkpoint
+        # documents.
+        self.latencies: Deque[float] = deque(maxlen=latency_window)
 
 
 def _percentile(samples: List[float], fraction: float) -> float:
@@ -139,25 +147,35 @@ class TuningEngine:
         transitions,
         materialized: AbstractSet[Index] = frozenset(),
         batch_size: int = 32,
+        workers: Optional[int] = None,
+        latency_window: int = _LATENCY_WINDOW,
         **wfit_options,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
         self._optimizer = optimizer
         self._transitions = transitions
         self._tuner = WFIT(
             optimizer, transitions, initial_config=frozenset(materialized),
+            workers=workers,
             **wfit_options,
         )
         self._materialized: set = set(materialized)
         self.batch_size = batch_size
+        self.latency_window = latency_window
 
         # Ingest: the submission queue is guarded by _ingest_lock (held only
         # for O(1) queue ops); _pump_lock serializes the single writer that
         # may touch the tuner. _wakeup signals the background drain thread.
+        # _lifecycle_lock serializes start()/stop() transitions (without it
+        # two concurrent start() calls can both pass the thread-is-None
+        # check and leak a drain thread).
         self._queue: Deque[Tuple[str, Statement]] = deque()
         self._ingest_lock = threading.Lock()
         self._pump_lock = threading.RLock()
+        self._lifecycle_lock = threading.Lock()
         self._wakeup = threading.Condition(self._ingest_lock)
         self._thread: Optional[threading.Thread] = None
         self._stop_flag = threading.Event()
@@ -165,6 +183,9 @@ class TuningEngine:
         self._clients: Dict[str, _ClientState] = {}
         self._statements_processed = 0
         self._batches_processed = 0
+        # Parallel-efficiency of the most recent micro-batch that actually
+        # ran fan-out sections (None until one has).
+        self._last_batch_parallel_efficiency: Optional[float] = None
         # totWork accounting (§3.1, immediate adoption): the configuration
         # the accounting charges costs under, and the cumulative metric.
         self._accounting_config: FrozenSet[Index] = frozenset(materialized)
@@ -198,6 +219,17 @@ class TuningEngine:
         return frozenset(self._materialized)
 
     @property
+    def workers(self) -> int:
+        """Per-part fan-out pool size of the shared tuner (1 = serial)."""
+        return self._tuner.workers
+
+    def close(self) -> None:
+        """Release execution resources: stop the drain thread (draining
+        pending work first) and shut down the tuner's worker pool."""
+        self.stop(drain=True)
+        self._tuner.close()
+
+    @property
     def statements_processed(self) -> int:
         return self._statements_processed
 
@@ -227,7 +259,7 @@ class TuningEngine:
         if state is None:
             with self._ingest_lock:
                 state = self._clients.setdefault(
-                    client_id, _ClientState(client_id)
+                    client_id, _ClientState(client_id, self.latency_window)
                 )
         return state
 
@@ -265,12 +297,32 @@ class TuningEngine:
     def submit_many(
         self, entries: Iterable[Tuple[str, Union[str, Statement]]]
     ) -> int:
-        """Enqueue a batch of ``(client_id, statement)`` pairs."""
-        count = 0
+        """Enqueue a batch of ``(client_id, statement)`` pairs.
+
+        The whole batch is parsed first, then enqueued under a *single*
+        queue-lock acquisition with one drain-thread ``notify`` —
+        submission order is preserved, and an N-statement batch costs one
+        lock round-trip instead of N (the per-statement locking showed up
+        directly in ingest throughput under concurrent submitters).
+        """
+        batch: List[Tuple[_ClientState, str, Statement]] = []
         for client_id, statement in entries:
-            self.submit(client_id, statement)
-            count += 1
-        return count
+            parsed = (
+                parse_statement(statement)
+                if isinstance(statement, str)
+                else statement
+            )
+            # Resolve client states outside the queue lock: _client() takes
+            # _ingest_lock itself on first sight of a client.
+            batch.append((self._client(client_id), client_id, parsed))
+        if not batch:
+            return 0
+        with self._ingest_lock:
+            for client, client_id, parsed in batch:
+                self._queue.append((client_id, parsed))
+                client.submitted += 1
+            self._wakeup.notify()
+        return len(batch)
 
     def _analyze(self, client_id: str, statement: Statement) -> None:
         """Run one statement through the shared core (writer lock held)."""
@@ -311,8 +363,22 @@ class TuningEngine:
                     ]
                 if not batch:
                     break
+                before = self._tuner.parallel_stats()
                 for client_id, statement in batch:
                     self._analyze(client_id, statement)
+                after = self._tuner.parallel_stats()
+                wall = (
+                    after["parallel_wall_seconds"]
+                    - before["parallel_wall_seconds"]
+                )
+                if wall > 0.0:
+                    busy = (
+                        after["parallel_busy_seconds"]
+                        - before["parallel_busy_seconds"]
+                    )
+                    self._last_batch_parallel_efficiency = busy / (
+                        wall * self._tuner.workers
+                    )
                 processed += len(batch)
                 self._batches_processed += 1
         return processed
@@ -320,31 +386,50 @@ class TuningEngine:
     # -- background drain ------------------------------------------------------
 
     def start(self, poll_interval: float = 0.05) -> None:
-        """Start the background single-writer drain thread."""
-        if self._thread is not None:
-            raise RuntimeError("engine is already running")
-        self._stop_flag.clear()
+        """Start the background single-writer drain thread.
 
-        def _loop() -> None:
-            while not self._stop_flag.is_set():
-                if self.pump(self.batch_size) == 0:
-                    with self._wakeup:
-                        self._wakeup.wait(timeout=poll_interval)
+        Lifecycle transitions are serialized by an internal lock: two
+        threads racing into ``start()`` cannot both pass the already-
+        running check (one starts the drain thread, the other raises), and
+        a ``stop()`` concurrent with a ``start()`` observes either the
+        fully-started or the not-yet-started engine, never a half-built
+        one.
+        """
+        with self._lifecycle_lock:
+            if self._thread is not None:
+                raise RuntimeError("engine is already running")
+            self._stop_flag.clear()
 
-        self._thread = threading.Thread(
-            target=_loop, name="tuning-engine-drain", daemon=True
-        )
-        self._thread.start()
+            def _loop() -> None:
+                while not self._stop_flag.is_set():
+                    if self.pump(self.batch_size) == 0:
+                        with self._wakeup:
+                            self._wakeup.wait(timeout=poll_interval)
+
+            thread = threading.Thread(
+                target=_loop, name="tuning-engine-drain", daemon=True
+            )
+            thread.start()
+            # Publish only after a successful start so a failed Thread
+            # construction can never leave a stale handle behind.
+            self._thread = thread
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the background thread (idempotent); optionally drain."""
-        thread = self._thread
-        if thread is not None:
-            self._stop_flag.set()
-            with self._wakeup:
-                self._wakeup.notify_all()
-            thread.join()
-            self._thread = None
+        """Stop the background thread (idempotent); optionally drain.
+
+        Safe to call concurrently with :meth:`start` (the lifecycle lock
+        orders the two: stop-then-start leaves the engine running,
+        start-then-stop leaves it stopped) and with other ``stop`` calls —
+        exactly one caller joins the thread.
+        """
+        with self._lifecycle_lock:
+            thread = self._thread
+            if thread is not None:
+                self._stop_flag.set()
+                with self._wakeup:
+                    self._wakeup.notify_all()
+                thread.join()
+                self._thread = None
         if drain:
             self.pump()
 
@@ -429,9 +514,16 @@ class TuningEngine:
     def metrics(self) -> Dict[str, object]:
         """Aggregate engine metrics plus per-session counters.
 
-        Per-session ``latency_p50_ms`` / ``latency_p95_ms`` summarize the
-        client's last :data:`_LATENCY_WINDOW` in-core statement latencies
-        (analysis plus totWork accounting; 0.0 before any statement).
+        Per-session ``latency_p50_ms`` / ``latency_p95_ms`` are
+        *window-relative*: they summarize the client's last
+        ``latency_window`` (constructor knob, default 4096) in-core
+        statement latencies — analysis plus totWork accounting — not the
+        full session history; 0.0 before any statement. ``workers`` is the
+        per-part fan-out pool size; ``parallel`` reports the cumulative
+        fan-out accounting of :meth:`~repro.core.wfit.WFIT.parallel_stats`
+        plus ``last_batch_efficiency``, the busy/(wall × workers) ratio of
+        the most recent micro-batch that ran a parallel section (None
+        until one has; serial engines never do).
         """
         # The writer lock first: latency deques are appended to by the
         # single writer under _pump_lock, so snapshotting them requires it
@@ -449,10 +541,16 @@ class TuningEngine:
                         "latency_p95_ms": _percentile(samples, 0.95) * 1000.0,
                     }
                 queue_depth = len(self._queue)
+            parallel = dict(self._tuner.parallel_stats())
+            parallel["last_batch_efficiency"] = (
+                self._last_batch_parallel_efficiency
+            )
             return {
                 "statements_processed": self._statements_processed,
                 "batches_processed": self._batches_processed,
                 "queue_depth": queue_depth,
+                "workers": self._tuner.workers,
+                "parallel": parallel,
                 "total_work": self._total_work,
                 "materialized": [ix.name for ix in sorted(self._materialized)],
                 "recommendation": [

@@ -107,7 +107,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     params = _trace_params(args)
     stats, trace = _build_trace(params)
     engine_options = {"idx_cnt": args.idx_cnt, "state_cnt": args.state_cnt}
-    engine = _build_engine(stats, args.batch_size, engine_options)
+    # workers is a runtime execution knob (bit-identical at any value), so
+    # it is passed to *this* engine but kept out of engine_options — the
+    # checkpointed options must not pin a pool size on the restoring host.
+    engine = _build_engine(
+        stats, args.batch_size, {**engine_options, "workers": args.workers}
+    )
 
     checkpoint_at = args.checkpoint_at
     if checkpoint_at is not None and not args.checkpoint:
@@ -137,6 +142,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "command": "replay",
         "trace": params,
         "statements": len(trace),
+        "workers": engine.workers,
         "elapsed_seconds": elapsed,
         "statements_per_sec": len(trace) / elapsed if elapsed else 0.0,
         "checkpoint": str(args.checkpoint) if checkpoint_at is not None else None,
@@ -237,6 +243,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="truncate the trace to this many statements")
     replay.add_argument("--batch-size", type=int, default=8,
                         help="ingest micro-batch size (default 8)")
+    replay.add_argument("--workers", type=int, default=1,
+                        help="per-part fan-out pool size (default 1, the "
+                        "serial determinism oracle; any value is "
+                        "bit-identical). resume --verify always replays "
+                        "serially.")
     replay.add_argument("--idx-cnt", type=int, default=16,
                         help="WFIT monitored-index bound (default 16)")
     replay.add_argument("--state-cnt", type=int, default=128,

@@ -1,0 +1,212 @@
+"""Property tests: partition-parallel WFIT is bit-identical to serial.
+
+The §4 stability condition makes per-part WFA state disjoint, so fanning
+the per-part kernel relaxations out to a worker pool must change *nothing*
+observable: over random multi-part traces (with random DBA votes
+interleaved), a ``workers > 1`` tuner and the serial oracle must produce
+**exactly equal** (``==``, no tolerance) recommendations, per-part ``w``
+vectors, and min-work totals — on both kernel backends. These tests also
+pin the contracts the fan-out relies on: the ``prepare_statement`` /
+``relax`` split composes to ``analyze_statement``, kernel buffers are
+per-instance-owned (never aliased), and ``REPRO_WORKERS`` resolves as
+documented.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import wfa_kernel
+from repro.core.wfa import WFA, TransitionCosts
+from repro.core.wfit import WFIT, resolve_workers
+from synth import make_indices, make_synthetic_instance
+
+BACKENDS = wfa_kernel.available_backends()
+
+
+def _twin_tuners(workload, transitions, backend, workers):
+    """The same fixed-partition WFIT once serial, once at ``workers``."""
+    with wfa_kernel.force_backend(backend):
+        serial = WFIT(
+            workload, transitions,
+            fixed_partition=workload.partition, workers=1,
+        )
+        parallel = WFIT(
+            workload, transitions,
+            fixed_partition=workload.partition, workers=workers,
+        )
+    return serial, parallel
+
+
+def _assert_identical(serial: WFIT, parallel: WFIT, step: object) -> None:
+    assert serial.recommend() == parallel.recommend(), f"rec diverged at {step}"
+    for k, (a, b) in enumerate(zip(serial._instances, parallel._instances)):
+        assert a._kernel.export_w() == b._kernel.export_w(), (
+            f"part {k} w diverged at {step}"
+        )
+        assert a.min_work() == b.min_work(), f"part {k} minWork at {step}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    sizes=st.lists(st.integers(1, 4), min_size=2, max_size=5),
+    n_statements=st.integers(1, 10),
+    workers=st.integers(2, 6),
+    backend=st.sampled_from(BACKENDS),
+)
+def test_parallel_wfit_identical_on_random_traces(
+    seed, sizes, n_statements, workers, backend
+):
+    rng = random.Random(seed)
+    workload, transitions = make_synthetic_instance(rng, sizes, n_statements)
+    serial, parallel = _twin_tuners(workload, transitions, backend, workers)
+    try:
+        _assert_identical(serial, parallel, "initialization")
+        for statement in workload.statements:
+            serial.analyze_statement(statement)
+            parallel.analyze_statement(statement)
+            _assert_identical(serial, parallel, statement)
+    finally:
+        parallel.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    sizes=st.lists(st.integers(1, 4), min_size=2, max_size=4),
+    n_statements=st.integers(2, 8),
+    backend=st.sampled_from(BACKENDS),
+)
+def test_parallel_wfit_identical_under_feedback(
+    seed, sizes, n_statements, backend
+):
+    """Random votes between statements: feedback runs serially, but it
+    reads the state the fan-out wrote — any cross-part leakage shows."""
+    rng = random.Random(seed)
+    workload, transitions = make_synthetic_instance(rng, sizes, n_statements)
+    serial, parallel = _twin_tuners(workload, transitions, backend, 4)
+    indices = workload.indices
+    vote_rng = random.Random(seed + 1)
+    try:
+        for statement in workload.statements:
+            serial.analyze_statement(statement)
+            parallel.analyze_statement(statement)
+            if vote_rng.random() < 0.5:
+                voted = vote_rng.sample(indices, vote_rng.randint(0, len(indices)))
+                split = vote_rng.randint(0, len(voted))
+                f_plus = frozenset(voted[:split])
+                f_minus = frozenset(voted[split:])
+                serial.feedback(f_plus, f_minus)
+                parallel.feedback(f_plus, f_minus)
+            _assert_identical(serial, parallel, statement)
+    finally:
+        parallel.close()
+
+
+def test_prepare_relax_composes_to_analyze():
+    """The split the fan-out uses is exactly analyze_statement."""
+    rng = random.Random(3)
+    workload, transitions = make_synthetic_instance(rng, [3], 6)
+    part = sorted(workload.partition[0])
+    whole = WFA(part, frozenset(), workload.cost, transitions)
+    split = WFA(part, frozenset(), workload.cost, transitions)
+    for statement in workload.statements:
+        rec_whole = whole.analyze_statement(statement)
+        split.prepare_statement(statement)
+        rec_split = split.relax()
+        assert rec_whole == rec_split
+        assert whole._kernel.export_w() == split._kernel.export_w()
+        assert whole.statements_analyzed == split.statements_analyzed
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kernel_buffers_are_per_instance(backend):
+    """The threading contract of wfa_kernel: no shared scratch between
+    instances, so concurrent relaxations of different parts are safe."""
+    indices = make_indices(4)
+    transitions = TransitionCosts()
+    with wfa_kernel.force_backend(backend):
+        a = WFA(indices, frozenset(), lambda q, X: 1.0, transitions)
+        b = WFA(indices, frozenset(), lambda q, X: 1.0, transitions)
+    ka, kb = a._kernel, b._kernel
+    assert ka is not kb
+    assert ka.costs is not kb.costs
+    if backend == "numpy":
+        import numpy as np
+
+        for name in ("_w", "costs", "_base", "_i1", "_i2", "_f1", "_f2", "_f3"):
+            assert not np.shares_memory(getattr(ka, name), getattr(kb, name)), name
+    else:
+        assert ka._w is not kb._w
+
+
+def test_resolve_workers_env_and_validation(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers() == 1
+    assert resolve_workers(5) == 5
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert resolve_workers() == 3
+    assert resolve_workers(2) == 2  # explicit beats the environment
+    monkeypatch.setenv("REPRO_WORKERS", "zero")
+    with pytest.raises(ValueError, match="REPRO_WORKERS"):
+        resolve_workers()
+    with pytest.raises(ValueError, match=">= 1"):
+        resolve_workers(0)
+
+
+def test_wfit_reads_workers_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    rng = random.Random(1)
+    workload, transitions = make_synthetic_instance(rng, [2, 2], 1)
+    tuner = WFIT(workload, transitions, fixed_partition=workload.partition)
+    try:
+        assert tuner.workers == 4
+        tuner.analyze_statement(workload.statements[0])
+        assert tuner.parallel_stats()["parallel_sections"] == 1
+    finally:
+        tuner.close()
+
+
+def test_parallel_stats_and_close_lifecycle():
+    rng = random.Random(2)
+    workload, transitions = make_synthetic_instance(rng, [2, 2, 2], 4)
+    tuner = WFIT(
+        workload, transitions, fixed_partition=workload.partition, workers=3
+    )
+    assert tuner.parallel_stats() == {
+        "workers": 3,
+        "parallel_sections": 0,
+        "parallel_wall_seconds": 0.0,
+        "parallel_busy_seconds": 0.0,
+        "parallel_efficiency": 0.0,
+    }
+    for statement in workload.statements:
+        tuner.analyze_statement(statement)
+    stats = tuner.parallel_stats()
+    assert stats["parallel_sections"] == len(workload.statements)
+    assert stats["parallel_wall_seconds"] > 0.0
+    assert stats["parallel_busy_seconds"] > 0.0
+    tuner.close()
+    tuner.close()  # idempotent
+    # Usable after close: the pool is rebuilt on the next statement.
+    tuner.analyze_statement(workload.statements[0])
+    assert tuner.parallel_stats()["parallel_sections"] == (
+        len(workload.statements) + 1
+    )
+    tuner.close()
+
+
+def test_serial_tuner_never_builds_a_pool():
+    rng = random.Random(4)
+    workload, transitions = make_synthetic_instance(rng, [2, 2], 3)
+    tuner = WFIT(
+        workload, transitions, fixed_partition=workload.partition, workers=1
+    )
+    for statement in workload.statements:
+        tuner.analyze_statement(statement)
+    assert tuner._pool is None
+    assert tuner.parallel_stats()["parallel_sections"] == 0
