@@ -38,6 +38,7 @@ from typing import Dict, FrozenSet, List, Sequence
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro import obs
 from repro.core import wfa_kernel
 from repro.core.wfa_plus import WFAPlus
 from repro.core.wfa_reference import ReferenceWFA
@@ -121,7 +122,13 @@ def chunk_partition(pool: Sequence[Index], part_size: int):
 
 def run_kernel(stats, partition, statements, transitions, backend=None):
     """One kernel-pipeline run; ``backend`` pins the work-function kernel
-    (None: the size-aware default selection)."""
+    (None: the size-aware default selection).
+
+    The returned registry snapshot is taken after the timer stops but
+    while the run's optimizer is still alive — its what-if counters are
+    exported through a weak registry collector, so a snapshot taken after
+    this function returns would no longer see them.
+    """
     optimizer = WhatIfOptimizer(stats)
     if backend is None:
         tuner = WFAPlus(partition, frozenset(), optimizer.cost, transitions)
@@ -132,7 +139,8 @@ def run_kernel(stats, partition, statements, transitions, backend=None):
     for statement in statements:
         tuner.analyze_statement(statement)
     elapsed = time.perf_counter() - started
-    return elapsed, optimizer.optimizations, tuner.recommend()
+    snapshot = obs.default_registry().snapshot()
+    return elapsed, optimizer.optimizations, tuner.recommend(), snapshot
 
 
 def run_seed(stats, partition, statements, transitions):
@@ -238,9 +246,13 @@ def main(argv=None) -> int:
             stats, partition, statements, transitions
         )
         for backend in backends:
-            kernel_s, kernel_opts, kernel_rec = run_kernel(
+            # Registry delta around the timed run (snapshots taken outside
+            # the timer): perf_gate can gate on counters, not just st/s.
+            obs_before = obs.default_registry().snapshot()
+            kernel_s, kernel_opts, kernel_rec, obs_after = run_kernel(
                 stats, partition, statements, transitions, backend=backend
             )
+            obs_delta = obs.diff_snapshots(obs_before, obs_after)
             row = {
                 "part_size": part_size,
                 "backend": backend,
@@ -253,6 +265,7 @@ def main(argv=None) -> int:
                 "kernel_optimizations": kernel_opts,
                 "seed_optimizations": seed_opts,
                 "recommendations_match": kernel_rec == seed_rec,
+                "obs": obs_delta,
             }
             if args.profile:
                 row["profile_kernel_top20"] = profile_kernel(
@@ -294,6 +307,7 @@ def main(argv=None) -> int:
             "per_phase": per_phase,
             "seed": args.seed,
             "quick": args.quick,
+            "obs_enabled": obs.enabled(),
             "rows": rows,
         }
         out = (

@@ -52,6 +52,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from bench_kernel import candidate_pool, chunk_partition
 
+from repro import obs
 from repro.advisor import AdvisorSession
 from repro.db import StatsTransitionCosts, build_catalog
 from repro.optimizer import WhatIfOptimizer
@@ -120,6 +121,7 @@ def run_parallel_scaling(stats, statements, args):
             workers=workers,
             fixed_partition=partition,
         )
+        obs_before = obs.default_registry().snapshot()
         started = time.perf_counter()
         engine.submit_many(trace)
         engine.pump()
@@ -132,6 +134,14 @@ def run_parallel_scaling(stats, statements, args):
             "stmts_per_sec": len(trace) / elapsed,
             "parallel_efficiency": metrics["parallel"]["parallel_efficiency"],
             "backend": backend,
+            # Windowed per-row cache counters (reset=True restarts the
+            # optimizer's counters for the next consumer) plus the registry
+            # delta over just this row's work — the engine/optimizer must
+            # still be alive here or their weak collectors drop out.
+            "cache": optimizer.cache_stats(reset=True),
+            "obs": obs.diff_snapshots(
+                obs_before, obs.default_registry().snapshot()
+            ),
         })
         outcomes.append((
             tuple(sorted(ix.name for ix in engine.tuner.recommend())),
@@ -260,14 +270,24 @@ def main(argv=None) -> int:
     )
     total = len(trace)
 
+    obs_shared_before = obs.default_registry().snapshot()
     shared_s, engine, shared_opt = run_shared(
         stats, partition, trace, args.batch_size
     )
+    obs_shared = obs.diff_snapshots(
+        obs_shared_before, obs.default_registry().snapshot()
+    )
+    obs_indep_before = obs.default_registry().snapshot()
     indep_s, sessions, indep_opts = run_independent(
         stats, partition, clients, statements
     )
+    obs_indep = obs.diff_snapshots(
+        obs_indep_before, obs.default_registry().snapshot()
+    )
 
-    shared_stats = shared_opt.cache_stats()
+    # Windowed read: per-section counts, and the shared optimizer's
+    # counters restart so any later section reports only its own work.
+    shared_stats = shared_opt.cache_stats(reset=True)
     indep_optimizations = sum(o.optimizations for o in indep_opts.values())
     recs = {c: sessions[c].tuner.recommend() for c in clients}
     independents_agree = len(set(map(frozenset, recs.values()))) == 1
@@ -306,6 +326,7 @@ def main(argv=None) -> int:
             "ibg_hit_rate": shared_stats["ibg_hit_rate"],
             "batches": engine.batches_processed,
             "session_latency": shared_latencies,
+            "obs": obs_shared,
         },
         "independent": {
             "elapsed_seconds": indep_s,
@@ -313,8 +334,10 @@ def main(argv=None) -> int:
             "optimizations": indep_optimizations,
             "sessions_agree": independents_agree,
             "session_latency": indep_latencies,
+            "obs": obs_indep,
         },
         "speedup": indep_s / shared_s,
+        "obs_enabled": obs.enabled(),
     }
 
     parallel = None

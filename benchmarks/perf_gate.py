@@ -31,11 +31,25 @@ run) the 4-worker aggregate st/s must hold the ≥2.5× floor over the
 1-worker pin. Under-provisioned or quick measurements WARN, exactly like
 baseline rows with no available backend.
 
+With ``--obs-overhead`` the gate compares two fresh quick runs of the
+same checkout — one with telemetry enabled (the default), one with
+``REPRO_OBS=0`` — row by row against each other and against the pinned
+baseline: the disabled run regressing more than 5% in seed-relative
+throughput vs the baseline **fails** (the no-op telemetry path must stay
+within noise of the pre-telemetry kernel), and the enabled run falling
+more than 2% behind the disabled run's raw st/s (a same-machine
+comparison) **warns**.
+
 Usage (what the CI job runs)::
 
     python benchmarks/bench_kernel.py --quick --out /tmp/quick.json
     python benchmarks/perf_gate.py --current /tmp/quick.json \
         [--service-current /tmp/service.json]
+
+    REPRO_OBS=0 python benchmarks/bench_kernel.py --quick --out /tmp/off.json
+    python benchmarks/bench_kernel.py --quick --out /tmp/on.json
+    python benchmarks/perf_gate.py --obs-overhead \
+        --obs-disabled /tmp/off.json --obs-enabled /tmp/on.json
 """
 
 from __future__ import annotations
@@ -162,12 +176,74 @@ def compare_service(payload, parallel_floor):
                f"workers ≥ {parallel_floor}x floor")
 
 
+#: --obs-overhead thresholds: the REPRO_OBS=0 run may lose at most this
+#: fraction of seed-relative throughput vs the pinned baseline (FAIL), and
+#: the enabled run at most this fraction of the disabled run's raw st/s
+#: (WARN; same-machine, so raw rates are comparable).
+OBS_DISABLED_MAX_REGRESSION = 0.05
+OBS_ENABLED_MAX_OVERHEAD = 0.02
+
+
+def compare_obs_overhead(baseline, disabled, enabled):
+    """Gate checks for telemetry overhead; yields (level, message) pairs.
+
+    ``disabled``/``enabled`` are two quick bench_kernel payloads from the
+    *same* checkout and machine; ``baseline`` is the pinned pre-telemetry
+    quick baseline.
+    """
+    if disabled.get("obs_enabled", True):
+        yield ("FAIL", "obs-overhead: the --obs-disabled payload was "
+               "recorded with telemetry on (rerun it under REPRO_OBS=0)")
+        return
+    if not enabled.get("obs_enabled", False):
+        yield ("FAIL", "obs-overhead: the --obs-enabled payload was "
+               "recorded with telemetry off")
+        return
+    dis_rows = _rows_by_key(disabled)
+    en_rows = _rows_by_key(enabled)
+    base_rows = _rows_by_key(baseline)
+    shared = sorted(set(dis_rows) & set(en_rows))
+    if not shared:
+        yield ("FAIL", "obs-overhead: no common (part size, backend) rows "
+               "between the enabled and disabled runs")
+        return
+    floor = 1.0 - OBS_DISABLED_MAX_REGRESSION
+    for size, backend in shared:
+        label = f"size {size}/{backend}"
+        dis, en = dis_rows[(size, backend)], en_rows[(size, backend)]
+        base = base_rows.get((size, backend))
+        if base is not None:
+            # Machine-independent: the no-op path vs the pinned pre-PR
+            # speedup. A >5% drop means the disabled branch is not free.
+            ratio = dis["speedup"] / base["speedup"]
+            if ratio < floor:
+                yield ("FAIL", f"{label}: REPRO_OBS=0 seed-relative "
+                       f"throughput at {ratio:.3f}x of the pinned baseline "
+                       f"({dis['speedup']:.2f}x vs {base['speedup']:.2f}x; "
+                       f"floor {floor:.2f}x)")
+            else:
+                yield ("ok", f"{label}: REPRO_OBS=0 at {ratio:.3f}x of the "
+                       f"pinned seed-relative baseline")
+        else:
+            yield ("WARN", f"{label}: no pinned baseline row; disabled-path "
+                   f"regression not gated")
+        # Same-machine, same-run-pair: enabled vs disabled raw throughput.
+        overhead = 1.0 - en["kernel_stmts_per_sec"] / dis["kernel_stmts_per_sec"]
+        if overhead > OBS_ENABLED_MAX_OVERHEAD:
+            yield ("WARN", f"{label}: telemetry-enabled run is "
+                   f"{overhead:.1%} slower than REPRO_OBS=0 "
+                   f"(> {OBS_ENABLED_MAX_OVERHEAD:.0%})")
+        else:
+            yield ("ok", f"{label}: enabled-vs-disabled overhead "
+                   f"{overhead:+.1%} (≤ {OBS_ENABLED_MAX_OVERHEAD:.0%})")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=pathlib.Path,
                         default=DEFAULT_BASELINE,
                         help=f"pinned baseline JSON (default {DEFAULT_BASELINE})")
-    parser.add_argument("--current", type=pathlib.Path, required=True,
+    parser.add_argument("--current", type=pathlib.Path, default=None,
                         help="freshly produced bench_kernel JSON to gate")
     parser.add_argument("--service-current", type=pathlib.Path, default=None,
                         help="freshly produced bench_service JSON whose "
@@ -177,15 +253,42 @@ def main(argv=None) -> int:
     parser.add_argument("--parallel-floor", type=float, default=2.5,
                         help="aggregate st/s floor at 4 workers vs the "
                         "1-worker pin (default 2.5)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="gate telemetry overhead: requires "
+                        "--obs-disabled and --obs-enabled quick payloads")
+    parser.add_argument("--obs-disabled", type=pathlib.Path, default=None,
+                        help="bench_kernel quick JSON recorded under "
+                        "REPRO_OBS=0")
+    parser.add_argument("--obs-enabled", type=pathlib.Path, default=None,
+                        help="bench_kernel quick JSON recorded with "
+                        "telemetry on (the default)")
     args = parser.parse_args(argv)
 
+    if args.obs_overhead and (args.obs_disabled is None
+                              or args.obs_enabled is None):
+        parser.error("--obs-overhead requires --obs-disabled and "
+                     "--obs-enabled")
+    if args.current is None and not args.obs_overhead:
+        parser.error("provide --current (and/or --obs-overhead with its "
+                     "two payloads)")
+
     baseline = json.loads(args.baseline.read_text())
-    current = json.loads(args.current.read_text())
     failures = 0
-    for level, message in compare(baseline, current, args.max_regression):
-        print(f"{level}: {message}")
-        if level == "FAIL":
-            failures += 1
+    if args.current is not None:
+        current = json.loads(args.current.read_text())
+        for level, message in compare(baseline, current, args.max_regression):
+            print(f"{level}: {message}")
+            if level == "FAIL":
+                failures += 1
+    if args.obs_overhead:
+        disabled = json.loads(args.obs_disabled.read_text())
+        enabled = json.loads(args.obs_enabled.read_text())
+        for level, message in compare_obs_overhead(
+            baseline, disabled, enabled
+        ):
+            print(f"{level}: {message}")
+            if level == "FAIL":
+                failures += 1
     if args.service_current is not None:
         service = json.loads(args.service_current.read_text())
         for level, message in compare_service(service, args.parallel_floor):

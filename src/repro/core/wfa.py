@@ -38,13 +38,22 @@ delegate to their parts.
 
 from __future__ import annotations
 
+import time
 from typing import AbstractSet, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..db.index import Index
 from .bitset import MaskDeltaTable, delta_cost
 from .wfa_kernel import make_kernel
 
 __all__ = ["WFA", "CostFunction", "TransitionCosts"]
+
+# Backend- and size-tagged kernel telemetry: one duration histogram per
+# (backend, tracked-state count) series, cached per instance so the hot
+# path pays one attribute load and one observe. The joint labels feed the
+# ROADMAP's crossover re-tuning item directly — each series' `count` is
+# the relax count at that batch shape, its distribution the wall time, so
+# the numpy/python crossover is readable straight off a snapshot.
 
 # cost(q, X) -> float where X is a set of indices.
 CostFunction = Callable[[object, FrozenSet[Index]], float]
@@ -163,6 +172,9 @@ class WFA:
         else:
             self._rec = initial_mask
         self._statements_analyzed = 0
+        # Lazily-bound relax-duration histogram (obs layer); None until the
+        # first instrumented relax so disabled runs never touch the registry.
+        self._relax_hist = None
 
     # -- mask helpers --------------------------------------------------------
 
@@ -379,7 +391,23 @@ class WFA:
         is bit-identical to running them serially in part order.
         """
         self._statements_analyzed += 1
-        self._rec = self._kernel.analyze(self._rec)
+        if obs.state.enabled:
+            hist = self._relax_hist
+            if hist is None:
+                hist = self._relax_hist = obs.default_registry().histogram(
+                    "repro_wfa_relax_seconds",
+                    help="Wall time of one per-part kernel relaxation, by "
+                         "backend and tracked-state count.",
+                    labels={
+                        "backend": self.kernel_backend,
+                        "states": str(self._size),
+                    },
+                )
+            started = time.perf_counter()
+            self._rec = self._kernel.analyze(self._rec)
+            hist.observe(time.perf_counter() - started)
+        else:
+            self._rec = self._kernel.analyze(self._rec)
         return self.recommend()
 
     def analyze_statement(self, statement: object) -> FrozenSet[Index]:

@@ -45,6 +45,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..db.index import Index
 from ..ibg.analysis import degree_of_interaction, max_benefit
 from ..ibg.graph import IndexBenefitGraph
@@ -55,6 +56,24 @@ from .candidates import IndexStatistics, top_indices
 from .partitioning import choose_partition, state_count
 from .wfa import WFA
 from .wfa_plus import validate_partition
+
+# Module-cached WFIT counters (statements analyzed, repartitions) on the
+# default registry; lazy so importing this module registers nothing.
+_WFIT_COUNTERS: List[object] = []
+
+
+def _wfit_counters():
+    if not _WFIT_COUNTERS:
+        registry = obs.default_registry()
+        _WFIT_COUNTERS.append(registry.counter(
+            "repro_wfit_statements_total",
+            help="Statements analyzed by WFIT.analyze_statement.",
+        ))
+        _WFIT_COUNTERS.append(registry.counter(
+            "repro_wfit_repartitions_total",
+            help="Stable-partition rebuilds (candidate churn).",
+        ))
+    return _WFIT_COUNTERS
 
 __all__ = ["WFIT", "resolve_workers"]
 
@@ -384,6 +403,8 @@ class WFIT:
         self._parts = list(new_parts)
         self._instances = new_instances
         self.repartition_count += 1
+        if obs.state.enabled:
+            _wfit_counters()[1].inc()
 
     # -- the public interface (Figure 4) ------------------------------------------------
 
@@ -399,13 +420,19 @@ class WFIT:
         stability condition).
         """
         self._n += 1
-        if self._auto:
-            new_parts = self._choose_candidates(statement)
-            if sorted(map(sorted, new_parts)) != sorted(map(sorted, self._parts)):
-                self._repartition(new_parts)
-        for instance in self._instances:
-            instance.prepare_statement(statement)
-        self._relax_all()
+        with obs.span("wfit.analyze"):
+            if self._auto:
+                with obs.span("wfit.choose_candidates"):
+                    new_parts = self._choose_candidates(statement)
+                if sorted(map(sorted, new_parts)) != sorted(map(sorted, self._parts)):
+                    self._repartition(new_parts)
+            with obs.span("wfit.prepare"):
+                for instance in self._instances:
+                    instance.prepare_statement(statement)
+            with obs.span("wfit.relax"):
+                self._relax_all()
+        if obs.state.enabled:
+            _wfit_counters()[0].inc()
         return self.recommend()
 
     def _relax_all(self) -> None:
@@ -437,8 +464,12 @@ class WFIT:
         def _run(slot: int, chunk: List[WFA]) -> None:
             started = time.perf_counter()
             try:
-                for instance in chunk:
-                    instance.relax()
+                # Root span on the worker thread: shows up as its own tid
+                # lane in the Chrome trace, aligned with the ingest
+                # thread's wfit.relax span.
+                with obs.span("wfit.relax_slice"):
+                    for instance in chunk:
+                        instance.relax()
             finally:
                 busy[slot] = time.perf_counter() - started
 

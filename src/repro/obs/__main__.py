@@ -1,0 +1,202 @@
+"""``python -m repro.obs`` — inspect, diff and validate telemetry artifacts.
+
+Subcommands:
+
+``show SNAPSHOT``
+    Pretty-print a metrics snapshot (or a replay report containing one
+    under ``"obs"``) as a sorted table; ``--format prom`` renders the
+    Prometheus exposition text instead, ``--format json`` echoes the
+    normalized snapshot document.
+
+``diff BEFORE AFTER``
+    Per-metric deltas (counters/histograms subtract; gauges show the
+    AFTER level). Accepts snapshots or replay reports on either side.
+
+``check SNAPSHOT [--trace TRACE]``
+    CI validation: the snapshot must satisfy the schema, its Prometheus
+    rendering must round-trip through the bundled parser, and the
+    optional trace file must be a Chrome ``trace_event`` document. Exit
+    status 0 on success, 1 with a diagnostic on the first failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Mapping, Optional
+
+from .registry import (
+    diff_snapshots,
+    parse_prometheus_text,
+    text_from_snapshot,
+    validate_snapshot,
+)
+
+
+def _load_snapshot(path: str) -> Mapping[str, object]:
+    """Load ``path`` as a snapshot, unwrapping replay reports transparently."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, Mapping) and "version" not in document:
+        # Replay reports carry the snapshot under "obs" (their top-level
+        # "metrics" key is the engine's own dict, not a snapshot).
+        inner = document.get("obs")
+        if isinstance(inner, Mapping):
+            document = inner
+    validate_snapshot(document)
+    return document
+
+
+def _labels_repr(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _render_table(snapshot: Mapping[str, object]) -> str:
+    lines: List[str] = []
+    metrics: Mapping[str, Mapping[str, object]] = snapshot["metrics"]  # type: ignore[assignment]
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = entry["type"]
+        for sample in entry["samples"]:  # type: ignore[index]
+            labels = _labels_repr(sample.get("labels", {}))
+            if kind == "histogram":
+                count = int(sample["count"])
+                total = float(sample["sum"])
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"{name}{labels}  count={count}  sum={total:.6g}  "
+                    f"mean={mean:.6g}"
+                )
+            else:
+                value = float(sample["value"])
+                rendered = (
+                    str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+                )
+                lines.append(f"{name}{labels}  {rendered}")
+    return "\n".join(lines)
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    snapshot = _load_snapshot(args.snapshot)
+    if args.format == "prom":
+        sys.stdout.write(text_from_snapshot(snapshot))
+    elif args.format == "json":
+        json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(_render_table(snapshot))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    before = _load_snapshot(args.before)
+    after = _load_snapshot(args.after)
+    delta = diff_snapshots(before, after)
+    if args.format == "json":
+        json.dump(delta, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(_render_table(delta))
+    return 0
+
+
+def _check_trace(path: str) -> Optional[str]:
+    """Return an error string if ``path`` is not a Chrome trace document."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return f"trace: unreadable ({exc})"
+    events = document.get("traceEvents") if isinstance(document, dict) else None
+    if not isinstance(events, list):
+        return "trace: missing 'traceEvents' list"
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            return f"trace: event {index} is not an object"
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                return f"trace: event {index} lacks {field!r}"
+        if event["ph"] == "X" and "dur" not in event:
+            return f"trace: complete event {index} lacks 'dur'"
+    return None
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        snapshot = _load_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL snapshot: {exc}", file=sys.stderr)
+        return 1
+    text = text_from_snapshot(snapshot)
+    try:
+        families = parse_prometheus_text(text)
+    except ValueError as exc:
+        print(f"FAIL prometheus: {exc}", file=sys.stderr)
+        return 1
+    if args.expect_metric:
+        missing = [m for m in args.expect_metric if m not in families]
+        if missing:
+            print(
+                f"FAIL expected metrics absent: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.trace:
+        error = _check_trace(args.trace)
+        if error:
+            print(f"FAIL {error}", file=sys.stderr)
+            return 1
+    sample_count = sum(
+        len(entry["samples"]) for entry in snapshot["metrics"].values()  # type: ignore[union-attr, index]
+    )
+    print(
+        f"OK {args.snapshot}: {len(families)} metric families, "
+        f"{sample_count} samples"
+        + (f"; trace {args.trace} valid" if args.trace else "")
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect, diff and validate repro telemetry artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="pretty-print a metrics snapshot")
+    show.add_argument("snapshot", help="snapshot JSON (or replay report)")
+    show.add_argument(
+        "--format", choices=("table", "prom", "json"), default="table"
+    )
+    show.set_defaults(func=_cmd_show)
+
+    diff = sub.add_parser("diff", help="delta between two snapshots")
+    diff.add_argument("before")
+    diff.add_argument("after")
+    diff.add_argument("--format", choices=("table", "json"), default="table")
+    diff.set_defaults(func=_cmd_diff)
+
+    check = sub.add_parser(
+        "check", help="validate snapshot schema + Prometheus rendering"
+    )
+    check.add_argument("snapshot")
+    check.add_argument("--trace", help="also validate a Chrome trace JSON")
+    check.add_argument(
+        "--expect-metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this metric family is present (repeatable)",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Span-based tracing: nested phase timings with a Chrome-compatible export.
+
+A *span* is one timed region of the pipeline — ``wfit.prepare``,
+``engine.analyze``, a per-part relax slice. Spans are opened with the
+:meth:`Tracer.span` context manager, nest via a thread-local stack (the
+innermost open span on the current thread is the parent), and record wall
+time (``time.perf_counter``) plus CPU time (``time.thread_time``) on exit.
+Exceptions propagate untouched; the span is still closed and tagged with
+the exception type so a trace shows *where* a failure happened.
+
+Completed **root** spans (spans with no parent) land in a bounded ring —
+``deque(maxlen=...)`` — holding the most recent traces with their full
+child trees. Export formats:
+
+* :meth:`Tracer.export` — a JSON-ready list of span dicts
+  (``name/start_s/wall_s/cpu_s/thread/error/children``);
+* :meth:`Tracer.export_chrome` — the Chrome ``trace_event`` format
+  (``{"traceEvents": [...]}``, ``ph: "X"`` complete events, µs units),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+When the obs layer is disabled (``REPRO_OBS=0``), :meth:`Tracer.span`
+returns a shared no-op context manager: no allocation, no clock reads, no
+ring growth — the same object every time, so the disabled hot path costs
+one attribute check and one ``with`` on a trivial CM.
+
+Closing a span also feeds its wall time into the default registry's
+``repro_span_seconds{span=...}`` histogram, so phase timing shows up in
+metrics snapshots even when nobody pulls a trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "TRACE_RING_DEFAULT"]
+
+#: Default bound on retained root spans (most recent kept).
+TRACE_RING_DEFAULT = 256
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region. Created by :meth:`Tracer.span`; not user-built."""
+
+    __slots__ = (
+        "name", "start_s", "wall_s", "cpu_s", "thread", "error", "children",
+        "_tracer", "_cpu_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.name = name
+        self._tracer = tracer
+        self.start_s = 0.0       # perf_counter at entry
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._cpu_start = 0.0
+        self.thread = 0
+        self.error: Optional[str] = None
+        self.children: List["Span"] = []
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack:
+            stack[-1].children.append(self)
+        stack.append(self)
+        self.thread = threading.get_ident()
+        self._cpu_start = time.thread_time()
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        cpu_end = time.thread_time()
+        self.wall_s = end - self.start_s
+        self.cpu_s = cpu_end - self._cpu_start
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        tracer = self._tracer
+        stack = tracer._stack()
+        # Exception safety: pop down to (and including) this span even if
+        # an inner span leaked past its own __exit__ somehow.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        if not stack:
+            tracer._finish_root(self)
+        tracer._observe(self)
+        return False  # never swallow exceptions
+
+    def to_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "thread": self.thread,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.children:
+            payload["children"] = [c.to_payload() for c in self.children]
+        return payload
+
+
+class Tracer:
+    """Owns the thread-local span stacks and the bounded trace ring."""
+
+    def __init__(self, ring_size: int = TRACE_RING_DEFAULT) -> None:
+        self._local = threading.local()
+        self._ring_lock = threading.Lock()
+        self._ring: deque = deque(maxlen=ring_size)
+        # Map perf_counter to the epoch once, so exported timestamps are
+        # real wall-clock times while intervals keep perf_counter precision.
+        self._epoch_offset_s = time.time() - time.perf_counter()
+        # Lazily-bound hook: set by repro.obs to feed span durations into
+        # the default registry without a circular import here.
+        self.on_close = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish_root(self, span: Span) -> None:
+        with self._ring_lock:
+            self._ring.append(span)
+
+    def _observe(self, span: Span) -> None:
+        hook = self.on_close
+        if hook is not None:
+            hook(span)
+
+    # -- public API ----------------------------------------------------------
+
+    def span(self, name: str, enabled: bool = True):
+        """Context manager timing the enclosed block as span ``name``."""
+        if not enabled:
+            return _NULL_SPAN
+        return Span(self, name)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def clear(self) -> None:
+        with self._ring_lock:
+            self._ring.clear()
+
+    def export(self) -> List[Dict[str, object]]:
+        """Recent root spans (oldest first) as JSON-ready dicts."""
+        with self._ring_lock:
+            roots = list(self._ring)
+        return [root.to_payload() for root in roots]
+
+    def export_chrome(self) -> Dict[str, object]:
+        """Chrome ``trace_event`` document for chrome://tracing / Perfetto."""
+        events: List[Dict[str, object]] = []
+
+        def _emit(span: Span) -> None:
+            ts_us = (span.start_s + self._epoch_offset_s) * 1e6
+            event: Dict[str, object] = {
+                "name": span.name,
+                "ph": "X",
+                "ts": ts_us,
+                "dur": span.wall_s * 1e6,
+                "pid": 1,
+                "tid": span.thread,
+                "args": {"cpu_ms": span.cpu_s * 1e3},
+            }
+            if span.error is not None:
+                event["args"]["error"] = span.error  # type: ignore[index]
+            events.append(event)
+            for child in span.children:
+                _emit(child)
+
+        with self._ring_lock:
+            roots = list(self._ring)
+        for root in roots:
+            _emit(root)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

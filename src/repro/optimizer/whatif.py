@@ -48,6 +48,7 @@ try:  # Optional: the vectorized costs_into() path. Pure-Python callers
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     _np = None
 
+from .. import obs
 from ..core.bitset import IndexUniverse
 from ..db.index import Index
 from ..db.stats import StatsRepository
@@ -213,6 +214,47 @@ class WhatIfOptimizer:
         self._ibg_graph_hits = 0
         self._ibg_graph_builds = 0
         self._ibg_evictions = 0
+        # The counters above stay plain per-instance ints (no lock, no
+        # registry call on the costing hot path; benches build several
+        # optimizers per process and read them per instance). The default
+        # registry samples them at snapshot time through a weak collector,
+        # summing across live instances.
+        obs.default_registry().register_collector(self._collect_obs)
+
+    def _collect_obs(self):
+        """Registry collector: current counter values as metric samples."""
+        pairs = (
+            ("repro_whatif_calls_total",
+             "cost_mask requests (memo hits included).", self.whatif_calls),
+            ("repro_whatif_optimizations_total",
+             "Genuine plan derivations (template builds + scalar plans).",
+             self.optimizations),
+            ("repro_whatif_statement_hits_total",
+             "Statement-memo hits.", self._stmt_hits),
+            ("repro_whatif_statement_misses_total",
+             "Statement-memo misses.", self._stmt_misses),
+            ("repro_whatif_statement_evictions_total",
+             "Statement-memo LRU evictions.", self._stmt_evictions),
+            ("repro_whatif_template_hits_total",
+             "Plan-template cache hits.", self._template_hits),
+            ("repro_whatif_template_builds_total",
+             "Plan-template compilations.", self._template_builds),
+            ("repro_whatif_template_evictions_total",
+             "Plan-template LRU evictions.", self._template_evictions),
+            ("repro_whatif_template_mask_costs_total",
+             "Memo misses priced by a template menu walk.",
+             self._template_mask_costs),
+            ("repro_whatif_ibg_hits_total",
+             "IBG cache hits.", self._ibg_graph_hits),
+            ("repro_whatif_ibg_builds_total",
+             "IBG constructions.", self._ibg_graph_builds),
+            ("repro_whatif_ibg_evictions_total",
+             "IBG cache LRU evictions.", self._ibg_evictions),
+        )
+        return [
+            {"name": name, "type": "counter", "help": help_text, "value": value}
+            for name, help_text, value in pairs
+        ]
 
     @property
     def cost_model(self) -> CostModel:
@@ -570,7 +612,7 @@ class WhatIfOptimizer:
             statement, base_mask | extra_mask
         )
 
-    def cache_stats(self) -> Dict[str, float]:
+    def cache_stats(self, reset: bool = False) -> Dict[str, float]:
         """Hit/miss/eviction counters for the memo, template and IBG caches.
 
         ``statement_*`` accounts the per-statement cost memo (a hit is a
@@ -581,12 +623,16 @@ class WhatIfOptimizer:
         optimization. ``ibg_*`` accounts the per-statement Index Benefit
         Graph cache (WFIT's candidate analysis). Hit rates are derived;
         they are 0.0 while no requests have been observed. Counters are
-        cumulative since construction or :meth:`reset_counters`.
+        cumulative since construction or the last reset; with
+        ``reset=True`` the returned values cover the window since the
+        previous reset and the counters restart at zero (the caches
+        themselves are untouched), which is how the bench harnesses report
+        per-section counts instead of run totals.
         """
         stmt_lookups = self._stmt_hits + self._stmt_misses
         template_requests = self._template_hits + self._template_builds
         ibg_requests = self._ibg_graph_hits + self._ibg_graph_builds
-        return {
+        stats = {
             "statement_hits": self._stmt_hits,
             "statement_misses": self._stmt_misses,
             "statement_evictions": self._stmt_evictions,
@@ -610,6 +656,9 @@ class WhatIfOptimizer:
             "whatif_calls": self.whatif_calls,
             "optimizations": self.optimizations,
         }
+        if reset:
+            self.reset_counters()
+        return stats
 
     def reset_counters(self) -> None:
         self.whatif_calls = 0

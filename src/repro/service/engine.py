@@ -35,6 +35,7 @@ entry points.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -51,6 +52,7 @@ from typing import (
     Union,
 )
 
+from .. import obs
 from ..core.wfit import WFIT
 from ..db.index import Index
 from ..optimizer.whatif import WhatIfOptimizer
@@ -130,12 +132,60 @@ class _ClientState:
 
 
 def _percentile(samples: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0.0 when empty)."""
+    """Nearest-rank percentile of ``samples`` (0.0 when empty).
+
+    The nearest-rank definition: the smallest value with at least
+    ``fraction`` of the samples at or below it, i.e. index
+    ``ceil(fraction · n) − 1``. A single sample is every percentile of
+    itself, and p50 of two samples is the lower one — the previous
+    ``int(fraction · n)`` truncation read one rank too high (p50 of
+    ``[a, b]`` returned ``b``) and only the clamp hid it at p95+.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return ordered[rank]
+    rank = math.ceil(fraction * len(ordered)) - 1
+    return ordered[min(len(ordered) - 1, max(0, rank))]
+
+
+# Process-wide engine instruments on the default registry, built lazily so
+# importing the service registers nothing. Counters/histograms aggregate
+# across engine instances (a process total); the queue-depth gauge instead
+# comes from a per-engine collector so it always reads the *current* level.
+_ENGINE_INSTRUMENTS: Dict[str, object] = {}
+
+
+def _engine_instruments() -> Dict[str, object]:
+    if not _ENGINE_INSTRUMENTS:
+        registry = obs.default_registry()
+        _ENGINE_INSTRUMENTS["statements"] = registry.counter(
+            "repro_engine_statements_total",
+            help="Statements analyzed through the shared core.",
+        )
+        _ENGINE_INSTRUMENTS["batches"] = registry.counter(
+            "repro_engine_batches_total",
+            help="Micro-batches drained by the single writer.",
+        )
+        _ENGINE_INSTRUMENTS["batch_size"] = registry.histogram(
+            "repro_engine_batch_size",
+            help="Statements per drained micro-batch.",
+            buckets=obs.POW2_BUCKETS,
+        )
+        _ENGINE_INSTRUMENTS["latency"] = {}
+    return _ENGINE_INSTRUMENTS
+
+
+def _latency_histogram(client_id: str):
+    instruments = _engine_instruments()
+    table: Dict[str, object] = instruments["latency"]  # type: ignore[assignment]
+    hist = table.get(client_id)
+    if hist is None:
+        hist = table[client_id] = obs.default_registry().histogram(
+            "repro_engine_statement_seconds",
+            help="Per-session in-core statement latency.",
+            labels={"client": client_id},
+        )
+    return hist
 
 
 class TuningEngine:
@@ -190,6 +240,23 @@ class TuningEngine:
         # the accounting charges costs under, and the cumulative metric.
         self._accounting_config: FrozenSet[Index] = frozenset(materialized)
         self._total_work = 0.0
+        # Observability: construction instant for metrics()["uptime_s"]
+        # (monotonic — wall-clock steps must not produce negative uptime),
+        # and a weak registry collector for the live queue-depth gauge
+        # (summed across engines; dies with the engine).
+        self._started_monotonic = time.monotonic()
+        obs.default_registry().register_collector(self._collect_obs)
+
+    def _collect_obs(self):
+        """Registry collector: the engine's current queue depth."""
+        with self._ingest_lock:
+            depth = len(self._queue)
+        return [{
+            "name": "repro_engine_queue_depth",
+            "type": "gauge",
+            "help": "Statements submitted but not yet analyzed.",
+            "value": depth,
+        }]
 
     @classmethod
     def for_stats(cls, stats, **options) -> "TuningEngine":
@@ -327,18 +394,22 @@ class TuningEngine:
     def _analyze(self, client_id: str, statement: Statement) -> None:
         """Run one statement through the shared core (writer lock held)."""
         started = time.perf_counter()
-        recommendation = self._tuner.analyze_statement(statement)
-        if recommendation != self._accounting_config:
-            self._total_work += self._transitions.delta(
-                self._accounting_config, recommendation
-            )
-            self._accounting_config = recommendation
-        self._total_work += self._optimizer.cost(statement, recommendation)
+        with obs.span("engine.analyze"):
+            recommendation = self._tuner.analyze_statement(statement)
+            if recommendation != self._accounting_config:
+                self._total_work += self._transitions.delta(
+                    self._accounting_config, recommendation
+                )
+                self._accounting_config = recommendation
+            self._total_work += self._optimizer.cost(statement, recommendation)
         elapsed = time.perf_counter() - started
         self._statements_processed += 1
         client = self._client(client_id)
         client.processed += 1
         client.latencies.append(elapsed)
+        if obs.state.enabled:
+            _engine_instruments()["statements"].inc()  # type: ignore[union-attr]
+            _latency_histogram(client_id).observe(elapsed)  # type: ignore[union-attr]
         self._log(client, "statement", to_sql(statement))
 
     def pump(self, limit: Optional[int] = None) -> int:
@@ -381,6 +452,10 @@ class TuningEngine:
                     )
                 processed += len(batch)
                 self._batches_processed += 1
+                if obs.state.enabled:
+                    instruments = _engine_instruments()
+                    instruments["batches"].inc()  # type: ignore[union-attr]
+                    instruments["batch_size"].observe(len(batch))  # type: ignore[union-attr]
         return processed
 
     # -- background drain ------------------------------------------------------
@@ -523,7 +598,11 @@ class TuningEngine:
         fan-out accounting of :meth:`~repro.core.wfit.WFIT.parallel_stats`
         plus ``last_batch_efficiency``, the busy/(wall × workers) ratio of
         the most recent micro-batch that ran a parallel section (None
-        until one has; serial engines never do).
+        until one has; serial engines never do). ``uptime_s`` is seconds
+        since construction (monotonic clock) and ``queue_depth`` the
+        current submitted-but-unanalyzed backlog. The numeric counters are
+        also exported on the process-wide :mod:`repro.obs` registry as
+        ``repro_engine_*`` series.
         """
         # The writer lock first: latency deques are appended to by the
         # single writer under _pump_lock, so snapshotting them requires it
@@ -548,6 +627,7 @@ class TuningEngine:
             return {
                 "statements_processed": self._statements_processed,
                 "batches_processed": self._batches_processed,
+                "uptime_s": time.monotonic() - self._started_monotonic,
                 "queue_depth": queue_depth,
                 "workers": self._tuner.workers,
                 "parallel": parallel,

@@ -16,7 +16,11 @@ uninterrupted engine over the full trace and asserts the restored engine's
 per-statement recommendation sequence and final totWork match — the
 step-identical restore guarantee — exiting non-zero on any divergence.
 
-Both subcommands emit a JSON metrics report (stdout or ``--metrics-out``).
+Both subcommands emit a JSON metrics report (stdout or ``--metrics-out``);
+the report embeds a full :mod:`repro.obs` registry snapshot under ``"obs"``
+(validate/pretty-print with ``python -m repro.obs``), and ``--trace-out``
+writes the recent pipeline spans as a Chrome ``trace_event`` JSON loadable
+in ``chrome://tracing`` or Perfetto.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..db import StatsTransitionCosts, build_catalog
 from ..optimizer.whatif import WhatIfOptimizer
 from ..workload import MultiClientTrace, generate_workload, scaled_phases
@@ -91,6 +96,17 @@ def _emit(report: Dict[str, object], metrics_out: Optional[str]) -> None:
         print(text)
 
 
+def _attach_obs(report: Dict[str, object], trace_out: Optional[str]) -> None:
+    """Embed the registry snapshot; optionally write the Chrome trace."""
+    report["obs"] = obs.default_registry().snapshot()
+    if trace_out:
+        document = obs.default_tracer().export_chrome()
+        pathlib.Path(trace_out).write_text(
+            json.dumps(document) + "\n"
+        )
+        print(f"trace written to {trace_out}")
+
+
 def _step_recommendations(
     engine: TuningEngine, trace: MultiClientTrace
 ) -> List[Tuple[str, ...]]:
@@ -149,6 +165,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "checkpoint_at": checkpoint_at,
         "metrics": engine.metrics(),
     }
+    _attach_obs(report, args.trace_out)
     _emit(report, args.metrics_out)
     return 0
 
@@ -212,6 +229,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         }
         if not verified:
             exit_code = 1
+    _attach_obs(report, args.trace_out)
     _emit(report, args.metrics_out)
     if exit_code:
         print("VERIFY FAILED: restored run diverged", file=sys.stderr)
@@ -258,6 +276,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="checkpoint output path (JSON)")
     replay.add_argument("--metrics-out", type=str, default=None,
                         help="write the JSON report here instead of stdout")
+    replay.add_argument("--trace-out", type=str, default=None,
+                        help="write recent pipeline spans as Chrome "
+                        "trace_event JSON (chrome://tracing / Perfetto)")
     replay.set_defaults(func=_cmd_replay)
 
     resume = sub.add_parser(
@@ -271,6 +292,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "step-identical recommendations and totWork")
     resume.add_argument("--metrics-out", type=str, default=None,
                         help="write the JSON report here instead of stdout")
+    resume.add_argument("--trace-out", type=str, default=None,
+                        help="write recent pipeline spans as Chrome "
+                        "trace_event JSON (chrome://tracing / Perfetto)")
     resume.set_defaults(func=_cmd_resume)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,16 @@
+"""Obs-suite fixtures: keep the global enablement flag test-local."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_enablement():
+    """Restore the process-wide obs flag so tests compose under any
+    ``REPRO_OBS`` setting (the tier-1 suite also runs with it at 0)."""
+    was_enabled = obs.enabled()
+    yield
+    obs.enable() if was_enabled else obs.disable()

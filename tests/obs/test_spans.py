@@ -1,0 +1,176 @@
+"""Tests for span tracing: nesting, exception safety, ring bound, export."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NULL_SPAN, Tracer
+
+
+@pytest.fixture()
+def tracer() -> Tracer:
+    return Tracer(ring_size=8)
+
+
+class TestNesting:
+    def test_children_attach_to_enclosing_span(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a.1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.export()
+        assert root["name"] == "root"
+        assert [c["name"] for c in root["children"]] == ["a", "b"]
+        assert [c["name"] for c in root["children"][0]["children"]] == ["a.1"]
+
+    def test_only_roots_land_in_ring(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [r["name"] for r in tracer.export()] == ["root"]
+
+    def test_current_tracks_innermost_open_span(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_sibling_roots_accumulate_oldest_first(self, tracer):
+        for name in ("one", "two", "three"):
+            with tracer.span(name):
+                pass
+        assert [r["name"] for r in tracer.export()] == ["one", "two", "three"]
+
+    def test_spans_on_other_threads_nest_independently(self, tracer):
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-root"):
+                seen["current"] = tracer.current().name
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            # The worker's span must not have nested under main's.
+            assert tracer.current().name == "main-root"
+        assert seen["current"] == "thread-root"
+        names = {r["name"] for r in tracer.export()}
+        assert names == {"main-root", "thread-root"}
+        for root in tracer.export():
+            assert not root.get("children")
+
+
+class TestTimingAndErrors:
+    def test_wall_time_is_positive_and_plausible(self, tracer):
+        with tracer.span("sleepy"):
+            time.sleep(0.01)
+        (root,) = tracer.export()
+        assert 0.005 < root["wall_s"] < 1.0
+        assert root["cpu_s"] >= 0.0
+
+    def test_exception_propagates_and_span_is_tagged(self, tracer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("root"):
+                with tracer.span("failing"):
+                    raise RuntimeError("boom")
+        (root,) = tracer.export()
+        assert root.get("error") == "RuntimeError"
+        assert root["children"][0]["error"] == "RuntimeError"
+        # The stacks unwound fully: a new span is a fresh root.
+        assert tracer.current() is None
+        with tracer.span("after"):
+            pass
+        assert [r["name"] for r in tracer.export()] == ["root", "after"]
+
+    def test_ring_keeps_most_recent(self, tracer):
+        for i in range(20):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [r["name"] for r in tracer.export()]
+        assert names == [f"s{i}" for i in range(12, 20)]
+
+    def test_clear_empties_ring(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.export() == []
+
+
+class TestChromeExport:
+    def test_chrome_document_shape(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        document = tracer.export_chrome()
+        json.dumps(document)  # must be JSON-serialisable as-is
+        events = document["traceEvents"]
+        assert {e["name"] for e in events} == {"root", "child"}
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] > 0 and event["dur"] >= 0
+            assert event["pid"] == 1 and event["tid"] != 0
+            assert "cpu_ms" in event["args"]
+
+    def test_child_interval_nests_inside_parent(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                time.sleep(0.002)
+        events = {e["name"]: e for e in tracer.export_chrome()["traceEvents"]}
+        root, child = events["root"], events["child"]
+        assert root["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1.0
+
+    def test_error_lands_in_args(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("nope")
+        (event,) = tracer.export_chrome()["traceEvents"]
+        assert event["args"]["error"] == "ValueError"
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_null_singleton(self, tracer):
+        a = tracer.span("x", enabled=False)
+        b = tracer.span("y", enabled=False)
+        assert a is b is _NULL_SPAN
+        with a:
+            pass
+        assert tracer.export() == []
+
+    def test_module_span_respects_obs_disable(self):
+        tracer = obs.default_tracer()
+        before = len(tracer.export())
+        obs.disable()
+        try:
+            assert obs.span("while-off") is _NULL_SPAN
+            with obs.span("while-off"):
+                pass
+        finally:
+            obs.enable()
+        assert len(tracer.export()) == before
+
+
+class TestSpanSecondsFeed:
+    def test_closed_spans_observe_into_default_registry(self):
+        obs.enable()
+        registry = obs.default_registry()
+        name = "test-span-seconds-feed"
+        with obs.span(name):
+            pass
+        with obs.span(name):
+            pass
+        metrics = registry.snapshot()["metrics"]
+        samples = metrics["repro_span_seconds"]["samples"]
+        (sample,) = [s for s in samples if s["labels"].get("span") == name]
+        assert sample["count"] == 2

@@ -156,6 +156,59 @@ class TestObservability:
         assert stats["statement_hits"] == 0
         assert stats["statement_hit_rate"] == 0.0
 
+    def test_cache_stats_reset_gives_windowed_counts(self, toy_stats):
+        optimizer = WhatIfOptimizer(toy_stats)
+        engine = TuningEngine(
+            optimizer, StatsTransitionCosts(toy_stats),
+            idx_cnt=8, state_cnt=64,
+        )
+        session = engine.session("a")
+        statement = session.execute(narrow_sql(toy_stats))
+        window_one = optimizer.cache_stats(reset=True)
+        assert window_one["whatif_calls"] > 0
+        # The reset zeroed the counters: replaying the identical statement
+        # yields a second window counting only its own traffic.
+        session.execute(statement)
+        window_two = optimizer.cache_stats(reset=True)
+        assert window_two["optimizations"] == 0
+        assert 0 < window_two["whatif_calls"] < window_one["whatif_calls"]
+        assert optimizer.cache_stats()["whatif_calls"] == 0
+
+    def test_uptime_and_queue_depth_in_metrics(self, engine, toy_stats):
+        engine.session("a").execute(narrow_sql(toy_stats))
+        metrics = engine.metrics()
+        assert metrics["uptime_s"] >= 0.0
+        assert metrics["queue_depth"] == 0
+        engine.submit("a", narrow_sql(toy_stats, offset=0.1))
+        assert engine.metrics()["queue_depth"] == 1
+
+
+class TestPercentile:
+    """Nearest-rank percentile edge cases (the old formula read one rank
+    too high: p50 of two samples returned the larger one)."""
+
+    def test_empty_returns_zero(self):
+        from repro.service.engine import _percentile
+        assert _percentile([], 0.50) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.service.engine import _percentile
+        assert _percentile([7.0], 0.50) == 7.0
+        assert _percentile([7.0], 0.95) == 7.0
+
+    def test_p50_of_two_is_the_lower(self):
+        from repro.service.engine import _percentile
+        assert _percentile([1.0, 9.0], 0.50) == 1.0
+        assert _percentile([1.0, 9.0], 0.95) == 9.0
+
+    def test_nearest_rank_on_larger_windows(self):
+        from repro.service.engine import _percentile
+        samples = [float(i) for i in range(1, 101)]  # 1..100
+        assert _percentile(samples, 0.50) == 50.0
+        assert _percentile(samples, 0.95) == 95.0
+        assert _percentile(samples, 1.0) == 100.0
+        assert _percentile(samples, 0.0) == 1.0
+
 
 class TestCheckpointWithPendingSubmissions:
     def test_pending_submissions_are_serialized_and_stay_queued(

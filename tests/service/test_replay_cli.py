@@ -64,6 +64,40 @@ class TestReplay:
             replay_report["metrics"]["total_work"], rel=1e-9
         )
 
+    def test_report_carries_obs_snapshot(self, tmp_path):
+        from repro.obs.registry import text_from_snapshot, validate_snapshot
+
+        out = tmp_path / "metrics.json"
+        assert main(["replay", *TRACE_FLAGS, "--metrics-out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        snapshot = report["obs"]
+        validate_snapshot(snapshot)
+        names = set(snapshot["metrics"])
+        assert {
+            "repro_wfa_relax_seconds",
+            "repro_whatif_calls_total",
+            "repro_wfit_statements_total",
+            "repro_engine_statements_total",
+            "repro_span_seconds",
+        } <= names
+        text_from_snapshot(snapshot)  # renders as Prometheus text
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        assert main([
+            "replay", *TRACE_FLAGS,
+            "--metrics-out", str(out), "--trace-out", str(trace),
+        ]) == 0
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        assert events, "replay produced no spans"
+        names = {event["name"] for event in events}
+        assert {"engine.analyze", "wfit.analyze", "wfit.relax"} <= names
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+
     def test_resume_rejects_foreign_checkpoint(self, tmp_path, toy_stats):
         from repro.db import StatsTransitionCosts
         from repro.optimizer import WhatIfOptimizer
