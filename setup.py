@@ -3,9 +3,16 @@
 The environment has no `wheel` package and no network access, so PEP 660
 editable installs (which require building a wheel) fail. This shim lets
 ``pip install -e . --no-use-pep517 --no-build-isolation`` use the classic
-``setup.py develop`` path. All metadata lives in pyproject.toml.
+``setup.py develop`` path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # PEP 561: ship the py.typed marker so downstream type checkers see
+    # the package's inline annotations.
+    package_data={"repro": ["py.typed"]},
+)

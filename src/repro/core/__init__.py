@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """The paper's algorithms: WFA, WFA⁺, WFIT, OPT, BC, and the tuning driver."""
 
 from .bc import BC

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """BC: adaptation of the Bruno–Chaudhuri online tuning algorithm [5] (§6.1).
 
 Like the paper's own competitor, this is an adaptation: the original was
@@ -79,7 +80,7 @@ class BC:
         empty_cost = self._cost_fn(statement, frozenset())
         raw: Dict[Index, float] = {}
         positive_by_table: Dict[str, List[Index]] = defaultdict(list)
-        for index in self._candidates:
+        for index in sorted(self._candidates):
             if index.table not in relevant_tables:
                 continue
             benefit = empty_cost - self._cost_fn(statement, frozenset({index}))

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Bitset configuration kernel: configurations as Python ints.
 
 Every hot loop of WFIT — the work-function update (``O(2^k · k)`` states
@@ -59,6 +60,7 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Protocol,
     Sequence,
     Tuple,
 )
@@ -323,8 +325,18 @@ class MaskDeltaTable:
         return self.create_sum[mask] + self.drop_sum[mask]
 
 
+class TransitionCostProvider(Protocol):
+    """Per-index transition charges, the δ decomposition of Appendix A."""
+
+    def create_cost(self, index: Index) -> float: ...
+
+    def drop_cost(self, index: Index) -> float: ...
+
+
 def delta_cost(
-    transitions, old: AbstractSet[Index], new: AbstractSet[Index]
+    transitions: TransitionCostProvider,
+    old: AbstractSet[Index],
+    new: AbstractSet[Index],
 ) -> float:
     """δ(old, new) from a per-index cost provider, at the set level.
 

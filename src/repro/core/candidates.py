@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Benefit / interaction statistics and top-index selection (§5.2.2).
 
 ``idxStats`` keeps, per index, the ``histSize`` most recent positive
@@ -203,7 +204,7 @@ def top_indices(
     if create_penalty_factor is None:
         create_penalty_factor = 1.0 / statistics.hist_size
     scored: List[Tuple[float, Index]] = []
-    for index in pool:
+    for index in sorted(pool):
         score = statistics.current_benefit(index, now)
         if index not in monitored:
             score -= transitions.create_cost(index) * create_penalty_factor

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Offline candidate selection for the fixed-partition experiments (§6.1).
 
 The paper's baseline experiments fix one candidate set and stable partition

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """OPT: the offline-optimal recommendation baseline of §6.
 
 OPT knows the entire workload in advance and picks the recommendation
@@ -246,7 +247,8 @@ class _PartState:
                 ):
                     best_mask = mask
                     best_value = value
-            assert best_mask is not None
+            if best_mask is None:
+                raise RuntimeError("stage-2 scan found no predecessor mask")
             masks[n - 1] = best_mask
             target = best_mask
         return masks
@@ -419,10 +421,10 @@ class OfflineOptimizer:
         self, old: AbstractSet[Index], new: AbstractSet[Index]
     ) -> float:
         total = 0.0
-        for index in new:
+        for index in sorted(new):
             if index not in old:
                 total += self._transitions.create_cost(index)
-        for index in old:
+        for index in sorted(old):
             if index not in new:
                 total += self._transitions.drop_cost(index)
         return total

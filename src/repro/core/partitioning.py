@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Stable-partition selection: ``choosePartition`` of Figure 7.
 
 A partition's *loss* is the summed current degree of interaction across
@@ -38,8 +39,8 @@ def pairwise_loss(
 ) -> float:
     """``loss({P_i, P_j})``: interaction mass between two parts."""
     total = 0.0
-    for a in part_a:
-        for b in part_b:
+    for a in sorted(part_a):
+        for b in sorted(part_b):
             total += doi(a, b)
     return total
 
@@ -228,5 +229,6 @@ def choose_partition(
             best_loss = loss
         if best_loss == 0.0:
             break
-    assert best is not None
+    if best is None:
+        raise RuntimeError("partition search produced no candidate")
     return sorted(best, key=lambda p: sorted(p))

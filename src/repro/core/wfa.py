@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """The Work Function Algorithm for index tuning (§4.1, Figure 3).
 
 One :class:`WFA` instance tracks a small set of candidate indices (one part

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Array-backed work-function kernels: the WFA hot loop as vector math.
 
 After the plan templates of PR 4 removed the optimizer bottleneck,
@@ -61,14 +62,14 @@ from __future__ import annotations
 import contextlib
 import os
 from array import array
-from typing import Iterator, List, Optional, Sequence
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Union
 
 from .bitset import MaskDeltaTable
 
 try:  # The package must import (and pass tier-1) without numpy.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 __all__ = [
     "NumpyWFKernel",
@@ -144,7 +145,7 @@ def force_backend(name: str) -> Iterator[None]:
         _forced_backend = previous
 
 
-def combined_backend(instances) -> str:
+def combined_backend(instances: Iterable[Any]) -> str:
     """The backend(s) a collection of WFA instances runs on.
 
     Backend selection is per part (size-aware), so a mixed partition
@@ -157,7 +158,9 @@ def combined_backend(instances) -> str:
     return "+".join(sorted(backends))
 
 
-def make_kernel(table: MaskDeltaTable, backend: Optional[str] = None):
+def make_kernel(
+    table: MaskDeltaTable, backend: Optional[str] = None
+) -> Union["PurePythonWFKernel", "NumpyWFKernel"]:
     """A work-function kernel over one part's δ prefix sums.
 
     ``backend`` overrides the default selection (``"numpy"`` /
@@ -259,7 +262,7 @@ class PurePythonWFKernel:
     def min_work(self) -> float:
         return min(self._w)
 
-    def mask_array(self, masks: Sequence[int]):
+    def mask_array(self, masks: Sequence[int]) -> List[int]:
         """Backend-preferred container for a fixed global-mask vector."""
         return list(masks)
 
@@ -426,7 +429,7 @@ class NumpyWFKernel:
     def min_work(self) -> float:
         return float(self._w.min())
 
-    def mask_array(self, masks: Sequence[int]):
+    def mask_array(self, masks: Sequence[int]) -> Any:
         """int64 vector of the part's global masks when they fit, else the
         plain list (universes beyond 63 bits fall back to int-loop costing)."""
         if masks and (max(masks) >> 62):
@@ -435,7 +438,9 @@ class NumpyWFKernel:
 
     # -- the three kernel operations ----------------------------------------
 
-    def _scores_into(self, values, rec: int, out, scratch) -> None:
+    def _scores_into(
+        self, values: Any, rec: int, out: Any, scratch: Any
+    ) -> None:
         """``score(S) = value(S) + δ(S, rec)`` with the scalar's summation
         order: (value + create_sum[rec \\ S]) + drop_sum[S \\ rec].
 

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """WFA⁺: divide-and-conquer WFA over a stable partition (§4.2).
 
 WFA⁺ runs one :class:`~repro.core.wfa.WFA` instance per part of a stable

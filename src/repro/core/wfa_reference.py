@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Reference frozenset implementation of WFA (the pre-kernel seed code).
 
 This module preserves the original pure-``frozenset`` Work Function

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """WFIT: the end-to-end semi-automatic index tuning algorithm (§5).
 
 WFIT wraps an array of per-part :class:`~repro.core.wfa.WFA` instances
@@ -41,7 +42,13 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 import time
+
+# Reporting-only wall-clock seam: every timing read in this module
+# flows through this alias so the R1 exemption is a single audited
+# point rather than scattered call sites.
+_perf_counter = time.perf_counter  # reprolint: disable=R1(feeds wall_time reporting only, never tuning state; bit-identity tests cover outputs)
 from concurrent.futures import ThreadPoolExecutor
 from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -170,10 +177,16 @@ class WFIT:
         # Partition-parallel fan-out state: the pool is created lazily on
         # the first parallel section (workers == 1 never builds one).
         self._workers = resolve_workers(workers)
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._parallel_sections = 0
-        self._parallel_wall_seconds = 0.0
-        self._parallel_busy_seconds = 0.0
+        # _pool_lock covers the pool handle and the cumulative fan-out
+        # accounting: close() may race the single writer's _relax_all
+        # (engine.close() vs a draining pump), and parallel_stats() is a
+        # public read path — without the lock it can observe a torn
+        # wall/busy pair mid-update.
+        self._pool_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _pool_lock
+        self._parallel_sections = 0  # guarded-by: _pool_lock
+        self._parallel_wall_seconds = 0.0  # guarded-by: _pool_lock
+        self._parallel_busy_seconds = 0.0  # guarded-by: _pool_lock
 
         self._n = 0  # statements analyzed so far
         self.statistics = IndexStatistics(hist_size)
@@ -251,17 +264,16 @@ class WFIT:
         All zero until the first parallel section (``workers == 1`` never
         has one).
         """
-        wall = self._parallel_wall_seconds
-        efficiency = (
-            self._parallel_busy_seconds / (wall * self._workers)
-            if wall > 0.0
-            else 0.0
-        )
+        with self._pool_lock:
+            wall = self._parallel_wall_seconds
+            busy = self._parallel_busy_seconds
+            sections = self._parallel_sections
+        efficiency = busy / (wall * self._workers) if wall > 0.0 else 0.0
         return {
             "workers": self._workers,
-            "parallel_sections": self._parallel_sections,
+            "parallel_sections": sections,
             "parallel_wall_seconds": wall,
-            "parallel_busy_seconds": self._parallel_busy_seconds,
+            "parallel_busy_seconds": busy,
             "parallel_efficiency": efficiency,
         }
 
@@ -271,9 +283,12 @@ class WFIT:
         Only releases execution resources; the tuner remains fully usable
         afterwards — the next parallel section simply rebuilds the pool.
         """
-        pool = self._pool
-        if pool is not None:
+        with self._pool_lock:
+            pool = self._pool
             self._pool = None
+        if pool is not None:
+            # Shut down outside the lock: queued slice tasks can take
+            # arbitrarily long and must not block parallel_stats() readers.
             pool.shutdown(wait=True)
 
     def recommend(self) -> FrozenSet[Index]:
@@ -450,11 +465,12 @@ class WFIT:
             for instance in instances:
                 instance.relax()
             return
-        pool = self._pool
-        if pool is None:
-            pool = self._pool = ThreadPoolExecutor(
-                max_workers=self._workers, thread_name_prefix="wfit-part"
-            )
+        with self._pool_lock:
+            pool = self._pool
+            if pool is None:
+                pool = self._pool = ThreadPoolExecutor(
+                    max_workers=self._workers, thread_name_prefix="wfit-part"
+                )
         slices = [
             instances[slot :: self._workers] for slot in range(self._workers)
         ]
@@ -462,7 +478,7 @@ class WFIT:
         busy = [0.0] * len(slices)
 
         def _run(slot: int, chunk: List[WFA]) -> None:
-            started = time.perf_counter()
+            started = _perf_counter()
             try:
                 # Root span on the worker thread: shows up as its own tid
                 # lane in the Chrome trace, aligned with the ingest
@@ -471,9 +487,9 @@ class WFIT:
                     for instance in chunk:
                         instance.relax()
             finally:
-                busy[slot] = time.perf_counter() - started
+                busy[slot] = _perf_counter() - started
 
-        wall_start = time.perf_counter()
+        wall_start = _perf_counter()
         futures = [
             pool.submit(_run, slot, chunk) for slot, chunk in enumerate(slices)
         ]
@@ -484,9 +500,11 @@ class WFIT:
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 if error is None:
                     error = exc
-        self._parallel_sections += 1
-        self._parallel_wall_seconds += time.perf_counter() - wall_start
-        self._parallel_busy_seconds += sum(busy)
+        elapsed_wall = _perf_counter() - wall_start
+        with self._pool_lock:
+            self._parallel_sections += 1
+            self._parallel_wall_seconds += elapsed_wall
+            self._parallel_busy_seconds += sum(busy)
         if error is not None:
             raise error
 

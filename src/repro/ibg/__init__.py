@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Index Benefit Graph construction and interaction analysis (after [16])."""
 
 from .analysis import (

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Benefit and degree-of-interaction analysis over an IBG (after [16]).
 
 Two quantities drive WFIT's candidate maintenance (§5.2.2):

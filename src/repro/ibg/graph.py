@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Index Benefit Graph (IBG) construction, after Schnaitter et al. [16].
 
 The IBG for a statement ``q`` and candidate set ``U`` compactly encodes

@@ -59,7 +59,17 @@ import math
 import re
 import threading
 import weakref
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 __all__ = [
     "Counter",
@@ -152,7 +162,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -177,7 +187,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -222,9 +232,9 @@ class Histogram:
             bounds = bounds[:-1]  # +Inf is implicit
         self._lock = threading.Lock()
         self._bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
-        self._sum = 0.0
-        self._count = 0
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
 
     @property
     def bounds(self) -> Tuple[float, ...]:
@@ -293,10 +303,10 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._families: Dict[str, _Family] = {}
+        self._families: Dict[str, _Family] = {}  # guarded-by: _lock
         # Weakly-referenced sample collectors: fn() -> iterable of sample
         # dicts {"name", "type", "help", "labels", "value"}.
-        self._collectors: List[object] = []
+        self._collectors: List[object] = []  # guarded-by: _lock
 
     # -- instrument factories ------------------------------------------------
 
@@ -586,7 +596,7 @@ def diff_snapshots(
     validate_snapshot(before)
     validate_snapshot(after)
 
-    def _by_key(entry):
+    def _by_key(entry: Mapping[str, Any]) -> Dict[_LabelKey, Any]:
         return {
             _label_key(sample.get("labels")): sample
             for sample in entry["samples"]

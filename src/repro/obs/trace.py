@@ -127,10 +127,12 @@ class Tracer:
     def __init__(self, ring_size: int = TRACE_RING_DEFAULT) -> None:
         self._local = threading.local()
         self._ring_lock = threading.Lock()
-        self._ring: deque = deque(maxlen=ring_size)
-        # Map perf_counter to the epoch once, so exported timestamps are
-        # real wall-clock times while intervals keep perf_counter precision.
-        self._epoch_offset_s = time.time() - time.perf_counter()
+        self._ring: deque = deque(maxlen=ring_size)  # guarded-by: _ring_lock
+        # Epoch anchor mapping perf_counter onto wall-clock time for
+        # exported timestamps. Resolved lazily at first export (never at
+        # construction): building a tracer inside a deterministic zone must
+        # not read the wall clock.
+        self._epoch_offset_s: Optional[float] = None  # guarded-by: _ring_lock
         # Lazily-bound hook: set by repro.obs to feed span durations into
         # the default registry without a circular import here.
         self.on_close = None
@@ -151,6 +153,29 @@ class Tracer:
         hook = self.on_close
         if hook is not None:
             hook(span)
+
+    def _epoch_offset(self) -> float:
+        """The perf_counter→epoch anchor, resolved on first use.
+
+        Export is the only consumer of wall-clock time, so the clocks are
+        read here — once — rather than in ``__init__``; call
+        :meth:`refresh_epoch` to re-anchor after a wall-clock step (NTP
+        adjustment, suspend/resume).
+        """
+        with self._ring_lock:
+            offset = self._epoch_offset_s
+            if offset is None:
+                offset = self._epoch_offset_s = (
+                    time.time() - time.perf_counter()
+                )
+        return offset
+
+    def refresh_epoch(self) -> float:
+        """Re-anchor exported timestamps to the current wall clock."""
+        offset = time.time() - time.perf_counter()
+        with self._ring_lock:
+            self._epoch_offset_s = offset
+        return offset
 
     # -- public API ----------------------------------------------------------
 
@@ -178,9 +203,10 @@ class Tracer:
     def export_chrome(self) -> Dict[str, object]:
         """Chrome ``trace_event`` document for chrome://tracing / Perfetto."""
         events: List[Dict[str, object]] = []
+        epoch_offset = self._epoch_offset()
 
         def _emit(span: Span) -> None:
-            ts_us = (span.start_s + self._epoch_offset_s) * 1e6
+            ts_us = (span.start_s + epoch_offset) * 1e6
             event: Dict[str, object] = {
                 "name": span.name,
                 "ph": "X",

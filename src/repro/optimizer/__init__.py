@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """What-if optimizer substrate: cost model, access paths, candidate extraction."""
 
 from .access import AccessCostModel, AccessCosts, AccessPath

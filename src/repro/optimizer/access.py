@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Access-path enumeration and costing for a single table.
 
 This is where *index interactions* originate, exactly as the paper motivates

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Whole-statement costing: the analytical stand-in for DB2's optimizer.
 
 ``CostModel.statement_cost(stmt, X)`` prices the best physical plan for a
@@ -218,7 +219,8 @@ class CostModel:
                 key = (out, table)
                 if best is None or key < (best[0], best[1]):
                     best = (out, table, join_pred)
-            assert best is not None
+            if best is None:
+                raise RuntimeError("join enumeration found no next table")
             out_rows, table, join_pred = best
             remaining.remove(table)
             joined.add(table)
@@ -406,6 +408,7 @@ class CostModel:
         affected = self._stats.row_count(statement.table) * residual
         if isinstance(statement, DeleteStatement):
             return access.index_maintenance_cost(index, affected, key_change=True)
-        assert isinstance(statement, UpdateStatement)
+        if not isinstance(statement, UpdateStatement):
+            raise TypeError(f"unsupported statement type: {type(statement).__name__}")
         key_change = bool(set(statement.set_columns) & set(index.columns))
         return access.index_maintenance_cost(index, affected, key_change)

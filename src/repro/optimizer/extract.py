@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Candidate index extraction — the paper's ``extractIndices(q)`` primitive.
 
 DB2's design advisor provides this in the prototype (§5.2.2, Figure 6

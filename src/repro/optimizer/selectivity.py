@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Selectivity estimation for conjunctive predicates.
 
 Uniform-distribution, attribute-independence estimates — the textbook model,

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Per-statement plan templates: batched what-if costing (ISSUE 4).
 
 The scalar :class:`~repro.optimizer.cost_model.CostModel` re-derives
@@ -300,7 +301,8 @@ def _select_template(
             key = (out, table)
             if best is None or key < (best[0], best[1]):
                 best = (out, table, join_pred)
-        assert best is not None
+        if best is None:
+            raise RuntimeError("join enumeration found no next table")
         step_rows, table, join_pred = best
         remaining.remove(table)
         joined.add(table)

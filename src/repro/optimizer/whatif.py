@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """The what-if optimizer interface consumed by the tuning algorithms.
 
 Modern optimizers expose hypothetical-configuration costing; the paper's

@@ -35,6 +35,10 @@ entry points.
 
 from __future__ import annotations
 
+# reprolint: lock-alias _wakeup=_ingest_lock
+# (_wakeup is a Condition constructed over _ingest_lock: entering it IS
+# entering the ingest lock, so lock-discipline analysis treats them as one.)
+
 import math
 import threading
 import time
@@ -212,7 +216,7 @@ class TuningEngine:
             workers=workers,
             **wfit_options,
         )
-        self._materialized: set = set(materialized)
+        self._materialized: set = set(materialized)  # guarded-by: _pump_lock
         self.batch_size = batch_size
         self.latency_window = latency_window
 
@@ -222,24 +226,24 @@ class TuningEngine:
         # _lifecycle_lock serializes start()/stop() transitions (without it
         # two concurrent start() calls can both pass the thread-is-None
         # check and leak a drain thread).
-        self._queue: Deque[Tuple[str, Statement]] = deque()
+        self._queue: Deque[Tuple[str, Statement]] = deque()  # guarded-by: _ingest_lock
         self._ingest_lock = threading.Lock()
         self._pump_lock = threading.RLock()
         self._lifecycle_lock = threading.Lock()
         self._wakeup = threading.Condition(self._ingest_lock)
-        self._thread: Optional[threading.Thread] = None
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _lifecycle_lock
         self._stop_flag = threading.Event()
 
-        self._clients: Dict[str, _ClientState] = {}
-        self._statements_processed = 0
-        self._batches_processed = 0
+        self._clients: Dict[str, _ClientState] = {}  # guarded-by: _ingest_lock
+        self._statements_processed = 0  # guarded-by: _pump_lock
+        self._batches_processed = 0  # guarded-by: _pump_lock
         # Parallel-efficiency of the most recent micro-batch that actually
         # ran fan-out sections (None until one has).
-        self._last_batch_parallel_efficiency: Optional[float] = None
+        self._last_batch_parallel_efficiency: Optional[float] = None  # guarded-by: _pump_lock
         # totWork accounting (§3.1, immediate adoption): the configuration
         # the accounting charges costs under, and the cumulative metric.
-        self._accounting_config: FrozenSet[Index] = frozenset(materialized)
-        self._total_work = 0.0
+        self._accounting_config: FrozenSet[Index] = frozenset(materialized)  # guarded-by: _pump_lock
+        self._total_work = 0.0  # guarded-by: _pump_lock
         # Observability: construction instant for metrics()["uptime_s"]
         # (monotonic — wall-clock steps must not produce negative uptime),
         # and a weak registry collector for the live queue-depth gauge
@@ -283,7 +287,8 @@ class TuningEngine:
 
     @property
     def materialized(self) -> FrozenSet[Index]:
-        return frozenset(self._materialized)
+        with self._pump_lock:
+            return frozenset(self._materialized)
 
     @property
     def workers(self) -> int:
@@ -298,16 +303,19 @@ class TuningEngine:
 
     @property
     def statements_processed(self) -> int:
-        return self._statements_processed
+        with self._pump_lock:
+            return self._statements_processed
 
     @property
     def batches_processed(self) -> int:
-        return self._batches_processed
+        with self._pump_lock:
+            return self._batches_processed
 
     @property
     def total_work(self) -> float:
         """Cumulative totWork under immediate adoption (§3.1)."""
-        return self._total_work
+        with self._pump_lock:
+            return self._total_work
 
     @property
     def queue_depth(self) -> int:
@@ -322,11 +330,15 @@ class TuningEngine:
     # -- session management ----------------------------------------------------
 
     def _client(self, client_id: str) -> _ClientState:
-        state = self._clients.get(client_id)
-        if state is None:
-            with self._ingest_lock:
-                state = self._clients.setdefault(
-                    client_id, _ClientState(client_id, self.latency_window)
+        # The whole lookup runs under the ingest lock. The previous
+        # lock-free fast path read the dict while concurrent submitters
+        # could be inserting — safe-ish on CPython today, but exactly the
+        # kind of convention R3 exists to make explicit rather than lucky.
+        with self._ingest_lock:
+            state = self._clients.get(client_id)
+            if state is None:
+                state = self._clients[client_id] = _ClientState(
+                    client_id, self.latency_window
                 )
         return state
 
@@ -391,7 +403,7 @@ class TuningEngine:
             self._wakeup.notify()
         return len(batch)
 
-    def _analyze(self, client_id: str, statement: Statement) -> None:
+    def _analyze(self, client_id: str, statement: Statement) -> None:  # holds: _pump_lock
         """Run one statement through the shared core (writer lock held)."""
         started = time.perf_counter()
         with obs.span("engine.analyze"):
@@ -510,7 +522,8 @@ class TuningEngine:
 
     @property
     def running(self) -> bool:
-        return self._thread is not None
+        with self._lifecycle_lock:
+            return self._thread is not None
 
     # -- recommendations and feedback routing ---------------------------------
 

@@ -1,3 +1,4 @@
+# reprolint: zone=deterministic
 """Checkpoint/restore for the tuning engine: versioned JSON documents.
 
 The design goal (motivated by the consistent-snapshot literature for

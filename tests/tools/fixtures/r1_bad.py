@@ -1,0 +1,7 @@
+# reprolint: zone=deterministic
+import random
+import time
+
+
+def stamp() -> float:
+    return time.time() + random.random()

@@ -1,0 +1,15 @@
+# reprolint: zone=deterministic
+import random
+import time
+
+from repro import obs
+
+
+def seeded(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def gated_timing() -> float:
+    if obs.state.enabled:
+        return time.perf_counter()
+    return 0.0

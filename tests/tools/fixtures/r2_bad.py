@@ -1,0 +1,8 @@
+# reprolint: zone=deterministic
+
+
+def total(values: set) -> float:
+    out = 0.0
+    for v in values:
+        out += v
+    return out

@@ -1,0 +1,15 @@
+# reprolint: zone=deterministic
+
+
+def total(values: set) -> float:
+    out = 0.0
+    for v in sorted(values):
+        out += v
+    return out
+
+
+def mask(values: set) -> int:
+    out = 0
+    for v in values:  # |= is commutative-exact: order cannot matter
+        out |= v
+    return out

@@ -1,0 +1,10 @@
+import threading
+
+
+class Box:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def size(self) -> int:
+        return len(self._items)

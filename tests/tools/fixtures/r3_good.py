@@ -1,0 +1,16 @@
+import threading
+
+
+class Box:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def _drain(self) -> list:  # holds: _lock
+        items = list(self._items)
+        self._items.clear()
+        return items

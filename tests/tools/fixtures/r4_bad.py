@@ -1,0 +1,17 @@
+import threading
+
+
+class Pair:
+    def __init__(self) -> None:
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def one(self) -> None:
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def two(self) -> None:
+        with self._b_lock:
+            with self._a_lock:
+                pass

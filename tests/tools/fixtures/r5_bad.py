@@ -1,0 +1,7 @@
+from repro import obs
+
+_COUNTER = obs.default_registry().counter("fixture_total")
+
+
+def record() -> None:
+    _COUNTER.inc()

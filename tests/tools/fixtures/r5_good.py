@@ -1,0 +1,13 @@
+from repro import obs
+
+_COUNTER = obs.default_registry().counter("fixture_total")
+
+
+def record() -> None:
+    if obs.state.enabled:
+        _COUNTER.inc()
+
+
+def spanned() -> None:
+    with obs.span("fixture.phase"):
+        pass

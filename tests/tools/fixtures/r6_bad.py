@@ -1,0 +1,2 @@
+def export_state(items) -> dict:
+    return {"items": set(items)}

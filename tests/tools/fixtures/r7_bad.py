@@ -1,0 +1,5 @@
+# reprolint: zone=deterministic
+
+
+def total(values: frozenset) -> float:
+    return sum(v * 2.0 for v in values)

@@ -1,0 +1,46 @@
+"""reprolint — AST-based contract checker for this repository's invariants.
+
+The repo's correctness story rests on conventions the test suite can only
+probe pointwise: bit-identical work-function backends need fixed iteration
+and float-summation order, the service layer's thread-safety needs every
+guarded attribute touched only under its lock, and the telemetry layer's
+"near-zero-cost when disabled" contract needs every recording call behind
+the one-attribute ``obs.state.enabled`` check. reprolint makes those
+conventions machine-checked *at the source level*, so they hold on every
+input — not just the ones hypothesis happens to draw.
+
+Rules (see :mod:`reprolint.rules` for the full statements):
+
+========  ==================================================================
+R1        determinism: no wall-clock / unseeded-RNG reads in deterministic
+          zones (``# reprolint: zone=deterministic`` module pragma)
+R2        ordered iteration: no accumulation over unordered set iteration
+          in deterministic zones
+R3        guarded-by lock discipline: ``# guarded-by: <lock>`` attributes
+          only touched under ``with self.<lock>:`` or ``# holds: <lock>``
+R4        lock ordering: the static acquisition graph must be acyclic
+R5        obs gating: metric recording calls must sit behind the
+          documented ``obs.state.enabled`` check
+R6        snapshot purity: serialization functions must not emit
+          unordered set values
+R7        float-reduction order: no ``sum()`` over set-typed iterables in
+          deterministic zones
+R8        forbidden APIs: bare ``except:``, mutable default arguments,
+          ``assert`` in deterministic zones
+========  ==================================================================
+
+Per-line escapes need a reason: ``# reprolint: disable=R1(why this is
+safe)``. Machine-readable output (``--format=json``) and a ``--baseline``
+file let the rule set grow without flag-day churn.
+
+Usage::
+
+    PYTHONPATH=tools python -m reprolint src/ [--format=json] [--baseline F]
+"""
+
+from .engine import check_file, check_paths
+from .rules import Finding, RULES
+
+__version__ = "1.0"
+
+__all__ = ["Finding", "RULES", "check_file", "check_paths", "__version__"]

@@ -1,0 +1,57 @@
+"""Baseline files: accepted pre-existing findings, keyed by content.
+
+A baseline entry is ``(rule, path, message)`` with a count — line numbers
+are deliberately excluded so unrelated edits above a finding don't churn
+the file. ``filter_findings`` consumes baseline budget per key: if the
+baseline allows 2 occurrences and the tree now has 3, one is reported.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .rules import Finding
+
+__all__ = ["load_baseline", "save_baseline", "filter_findings"]
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline file into a key -> allowed-count counter."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    counts: Counter = Counter()
+    for entry in payload.get("findings", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    counts: Counter = Counter(f.key() for f in findings)
+    entries: List[Dict[str, object]] = [
+        {"rule": rule, "path": fpath, "message": message, "count": count}
+        for (rule, fpath, message), count in sorted(counts.items())
+    ]
+    Path(path).write_text(
+        json.dumps({"version": 1, "findings": entries}, indent=2,
+                   sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def filter_findings(findings: Iterable[Finding],
+                    baseline: Counter) -> List[Finding]:
+    """Drop findings covered by remaining baseline budget."""
+    budget = Counter(baseline)
+    out: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            out.append(finding)
+    return out

@@ -1,0 +1,111 @@
+"""Command line entry point.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error — the same
+contract as the repo's perf gate, so CI treats them uniformly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .baseline import filter_findings, load_baseline, save_baseline
+from .engine import check_paths
+from .rules import RULES, Finding
+
+
+def _format_text(findings: Sequence[Finding]) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}"
+        for f in findings
+    ]
+    lines.append(
+        f"reprolint: {len(findings)} finding(s)" if findings
+        else "reprolint: clean"
+    )
+    return "\n".join(lines)
+
+
+def _format_json(findings: Sequence[Finding], checked: int) -> str:
+    return json.dumps(
+        {
+            "version": __version__,
+            "files_checked": checked,
+            "findings": [f.to_payload() for f in findings],
+            "count": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based contract checker for this repo's "
+                    "determinism, lock-discipline, and obs-gating "
+                    "invariants.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="accepted-findings file; covered findings "
+                             "are not reported")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write current findings as the new baseline "
+                             "and exit 0")
+    parser.add_argument("--rules", metavar="R1,R3,...",
+                        help="run only these rules")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--version", action="version",
+                        version=f"reprolint {__version__}")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (desc, zone_only, _fn) in RULES.items():
+            scope = "deterministic zones" if zone_only else "all files"
+            print(f"{rule_id}  [{scope}]  {desc}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("reprolint: error: no paths given", file=sys.stderr)
+        return 2
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES and r != "SUP"]
+        if unknown:
+            print(f"reprolint: error: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        findings, results = check_paths(args.paths, rules=rules)
+    except OSError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        save_baseline(args.write_baseline, findings)
+        print(f"reprolint: wrote baseline ({len(findings)} finding(s)) "
+              f"to {args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        try:
+            findings = filter_findings(findings, load_baseline(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"reprolint: error: bad baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if args.format == "json":
+        print(_format_json(findings, len(results)))
+    else:
+        print(_format_text(findings))
+    return 1 if findings else 0

@@ -1,0 +1,117 @@
+"""File-level orchestration: parse, annotate, run rules, apply suppressions.
+
+``check_file`` returns per-file findings plus the file's lock-acquisition
+edges; ``check_paths`` walks directories, merges edges, and runs the
+cross-file R4 cycle check at the end.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+from .pragmas import FileAnnotations, parse_annotations
+from .rules import (
+    Finding,
+    LockEdge,
+    RULES,
+    _attach_class_set_attrs,
+    check_lock_graph,
+    collect_lock_edges,
+)
+
+__all__ = ["FileResult", "check_file", "check_paths"]
+
+
+@dataclass
+class FileResult:
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    lock_edges: List[LockEdge] = field(default_factory=list)
+    annotations: FileAnnotations = field(default_factory=FileAnnotations)
+
+
+def check_file(path: str, source: str | None = None,
+               rules: Sequence[str] | None = None) -> FileResult:
+    """Run every (selected) rule on one file.
+
+    Suppressions are applied here — a finding covered by a
+    ``disable=RULE(reason)`` on its line (or the line above) is dropped
+    and the suppression marked used. Malformed annotations (disable
+    without a reason, unparseable source) surface as ``SUP`` findings so
+    they cannot silently turn a rule off.
+    """
+    if source is None:
+        source = Path(path).read_text(encoding="utf-8")
+    result = FileResult(path=path)
+    ann = parse_annotations(source)
+    result.annotations = ann
+    for line, message in ann.errors:
+        result.findings.append(Finding("SUP", path, line, 0, message))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(Finding(
+            "SUP", path, exc.lineno or 1, 0, f"syntax error: {exc.msg}",
+        ))
+        return result
+
+    _attach_class_set_attrs(tree)
+
+    raw: List[Finding] = []
+    for rule_id, (_desc, _zone_only, fn) in RULES.items():
+        if fn is None:
+            continue
+        if rules is not None and rule_id not in rules:
+            continue
+        fn(tree, ann, path, raw.append)
+
+    for finding in raw:
+        if ann.suppressed(finding.rule, finding.line) is None:
+            result.findings.append(finding)
+
+    if rules is None or "R4" in rules:
+        result.lock_edges = collect_lock_edges(tree, ann, path)
+    result.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return result
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    out: List[str] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(str(f) for f in sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(str(p))
+    # De-dup while keeping deterministic order.
+    seen = set()
+    unique = []
+    for f in out:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+def check_paths(paths: Iterable[str],
+                rules: Sequence[str] | None = None,
+                ) -> Tuple[List[Finding], List[FileResult]]:
+    """Check every ``.py`` under ``paths``; returns (findings, file results).
+
+    The cross-file R4 cycle check runs once over the merged acquisition
+    graph — a cycle spanning two modules is exactly the case a per-file
+    pass cannot see.
+    """
+    results = [check_file(path, rules=rules) for path in _iter_python_files(paths)]
+    findings: List[Finding] = []
+    edges: List[LockEdge] = []
+    for res in results:
+        findings.extend(res.findings)
+        edges.extend(res.lock_edges)
+    if rules is None or "R4" in rules:
+        findings.extend(check_lock_graph(edges))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, results

@@ -1,0 +1,129 @@
+"""Comment-level annotations: zones, suppressions, guarded-by, holds.
+
+All reprolint annotations live in comments so they are invisible to the
+runtime and to other tools. The grammar, by example::
+
+    # reprolint: zone=deterministic          (module pragma, anywhere)
+    # reprolint: lock-alias _wakeup=_ingest_lock
+    # reprolint: disable=R1(timing is observability-only)
+    self._queue = deque()  # guarded-by: _ingest_lock
+    def _analyze(self, ...):  # holds: _pump_lock
+
+``disable`` must name a rule *and* carry a parenthesized reason; a bare
+``disable=R1`` is itself reported (rule ``SUP``). ``guarded-by`` and
+``holds`` accept a comma-separated list of lock attribute names.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["FileAnnotations", "Suppression", "parse_annotations"]
+
+_DISABLE_RE = re.compile(
+    r"reprolint:\s*disable=(?P<rule>[A-Z][A-Z0-9]*)"
+    r"(?:\((?P<reason>[^)]*)\))?"
+)
+_ZONE_RE = re.compile(r"reprolint:\s*zone=(?P<zone>[a-z-]+)")
+_ALIAS_RE = re.compile(
+    r"reprolint:\s*lock-alias\s+(?P<alias>\w+)\s*=\s*(?P<target>\w+)"
+)
+_GUARDED_RE = re.compile(r"guarded-by:\s*(?P<locks>[\w, ]+)")
+_HOLDS_RE = re.compile(r"holds:\s*(?P<locks>[\w, ]+)")
+
+
+@dataclass
+class Suppression:
+    """One ``disable=RULE(reason)`` comment."""
+
+    rule: str
+    reason: str
+    line: int
+    used: bool = False
+
+
+@dataclass
+class FileAnnotations:
+    """Everything the comment pass extracted from one file."""
+
+    zone: str = ""
+    #: line -> suppressions declared on that line
+    suppressions: Dict[int, List[Suppression]] = field(default_factory=dict)
+    #: line -> lock names declared by a guarded-by comment on that line
+    guarded: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: line -> lock names declared by a holds comment on that line
+    holds: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: alias lock name -> canonical lock name (e.g. a Condition wrapping
+    #: the same underlying lock)
+    lock_aliases: Dict[str, str] = field(default_factory=dict)
+    #: malformed annotations: (line, message)
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def deterministic(self) -> bool:
+        return self.zone == "deterministic"
+
+    def canonical_lock(self, name: str) -> str:
+        return self.lock_aliases.get(name, name)
+
+    def suppressed(self, rule: str, line: int) -> Suppression | None:
+        """The suppression covering ``(rule, line)``, if any.
+
+        A disable comment covers its own line and the line directly below
+        it (so it can sit on its own line above a flagged statement).
+        """
+        for at in (line, line - 1):
+            for sup in self.suppressions.get(at, ()):
+                if sup.rule == rule:
+                    sup.used = True
+                    return sup
+        return None
+
+
+def _split_locks(raw: str) -> Tuple[str, ...]:
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def parse_annotations(source: str) -> FileAnnotations:
+    """Extract reprolint annotations from ``source``'s comments."""
+    ann = FileAnnotations()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError) as exc:
+        ann.errors.append((1, f"tokenize failed: {exc}"))
+        return ann
+    for line, text in comments:
+        match = _ZONE_RE.search(text)
+        if match:
+            ann.zone = match.group("zone")
+        match = _ALIAS_RE.search(text)
+        if match:
+            ann.lock_aliases[match.group("alias")] = match.group("target")
+        for match in _DISABLE_RE.finditer(text):
+            reason = (match.group("reason") or "").strip()
+            if not reason:
+                ann.errors.append((
+                    line,
+                    f"disable={match.group('rule')} needs a reason: "
+                    f"write disable={match.group('rule')}(why this is safe)",
+                ))
+                continue
+            ann.suppressions.setdefault(line, []).append(
+                Suppression(match.group("rule"), reason, line)
+            )
+        match = _GUARDED_RE.search(text)
+        if match and "guarded-by:" in text:
+            ann.guarded[line] = _split_locks(match.group("locks"))
+        match = _HOLDS_RE.search(text)
+        if match and "holds:" in text and "guarded-by:" not in text:
+            ann.holds[line] = _split_locks(match.group("locks"))
+    return ann

@@ -1,0 +1,731 @@
+"""The rule implementations. Stdlib ``ast`` only — no third-party deps.
+
+Every rule is a function ``rule(tree, ann, path, report)`` where ``report``
+is called with ``Finding`` objects; :data:`RULES` maps rule id to
+``(description, zone_only, fn)``. Static analysis is necessarily
+approximate; each rule documents what it can and cannot see, and errs
+toward *flagging* inside the narrow patterns it understands rather than
+guessing at the whole language.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .pragmas import FileAnnotations
+
+__all__ = ["Finding", "LockEdge", "RULES", "check_lock_graph"]
+
+
+@dataclass
+class Finding:
+    """One rule violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers churn, messages rarely do."""
+        return (self.rule, self.path, self.message)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``outer`` is held (lexically or via ``holds:``) when ``inner`` is
+    acquired — one edge of the static acquisition graph R4 checks."""
+
+    outer: str
+    inner: str
+    path: str
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# Shared inference helpers
+# ---------------------------------------------------------------------------
+
+_SET_ANNOTATION_NAMES = {
+    "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+}
+
+_WALL_CLOCK_TIME = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "thread_time", "thread_time_ns",
+}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "seed", "getrandbits", "betavariate",
+    "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+}
+
+_SERIALIZER_NAME_PREFIXES = ("export", "to_payload", "checkpoint",
+                             "snapshot", "save_")
+_SERIALIZER_EXACT_NAMES = {"metrics", "export", "export_chrome"}
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] in _SET_ANNOTATION_NAMES
+    return False
+
+
+class _SetTypes:
+    """Best-effort "is this expression an unordered set?" inference.
+
+    Knows: set displays / comprehensions, ``set()`` / ``frozenset()``
+    calls, set-algebra ``BinOp`` over known sets, names assigned or
+    annotated set-like in the enclosing function, parameters annotated
+    ``AbstractSet``-like, and ``self.<attr>`` slots whose declaration
+    (assignment or annotation, anywhere in the class) is set-like.
+    Anything else is assumed ordered — under-approximation is the price
+    of zero false positives on mask/list-heavy kernel code.
+    """
+
+    def __init__(self, class_set_attrs: Set[str]) -> None:
+        self._class_set_attrs = class_set_attrs
+        self._set_names: Set[str] = set()
+
+    def observe_function(self, fn: ast.AST) -> None:
+        self._set_names = set()
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = list(fn.args.posonlyargs) + list(fn.args.args) + \
+                list(fn.args.kwonlyargs)
+            for arg in args:
+                if _annotation_is_set(arg.annotation):
+                    self._set_names.add(arg.arg)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name) and self.is_set(node.value):
+                        self._set_names.add(target.id)
+                elif isinstance(node, ast.AnnAssign):
+                    if isinstance(node.target, ast.Name) and (
+                        _annotation_is_set(node.annotation)
+                        or (node.value is not None and self.is_set(node.value))
+                    ):
+                        self._set_names.add(node.target.id)
+
+    def is_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "self":
+                return node.attr in self._class_set_attrs
+        return False
+
+
+def _class_set_attrs(klass: ast.ClassDef) -> Set[str]:
+    """``self.<attr>`` slots declared set-like anywhere in the class."""
+    probe = _SetTypes(set())
+    out: Set[str] = set()
+    for node in ast.walk(klass):
+        target: Optional[ast.expr] = None
+        annotation: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, annotation, value = node.target, node.annotation, node.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            if _annotation_is_set(annotation) or (
+                value is not None and probe.is_set(value)
+            ):
+                out.add(target.attr)
+    return out
+
+
+def _is_obs_gate(test: ast.expr) -> bool:
+    """Does this ``if`` test consult the documented obs enablement flag?"""
+    text = ast.unparse(test)
+    return (
+        "obs.state.enabled" in text
+        or "obs.enabled()" in text
+        or text == "state.enabled"
+        or text.endswith(".state.enabled")
+    )
+
+
+def _walk_gated(node: ast.AST, gated: bool):
+    """Yield ``(child, gated)`` where ``gated`` is true only for code on the
+    obs-enabled branch of an ``if obs.state.enabled:`` test."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(node, ast.If) and _is_obs_gate(node.test):
+            child_gated = gated or (child in node.body)
+        else:
+            child_gated = gated
+        yield child, child_gated
+        yield from _walk_gated(child, child_gated)
+
+
+def _imports_obs(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name.split(".")[-1] == "obs" for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[-1] == "obs":
+                return True
+            if any(alias.name == "obs" for alias in node.names):
+                return True
+    return False
+
+
+Report = Callable[[Finding], None]
+
+
+# ---------------------------------------------------------------------------
+# R1 — determinism: no wall-clock / unseeded RNG in deterministic zones
+# ---------------------------------------------------------------------------
+
+def rule_r1(tree: ast.Module, ann: FileAnnotations, path: str,
+            report: Report) -> None:
+    """Deterministic zones must not read wall clocks or the process-global
+    RNG. Exemption: reads lexically on the body of an
+    ``if obs.state.enabled:`` gate are observability-only — the obs on/off
+    bit-identity property test proves that branch cannot feed tuning
+    state. Seeded ``random.Random(seed)`` instances are fine; the banned
+    surface is the *ambient* nondeterminism."""
+    if not ann.deterministic:
+        return
+
+    def flag(node: ast.AST, what: str) -> None:
+        report(Finding(
+            "R1", path, node.lineno, node.col_offset,
+            f"deterministic zone reads {what}; thread the value in or use "
+            f"a seeded RNG (obs-gated timing is exempt)",
+        ))
+
+    for node, gated in _walk_gated(tree, False):
+        if gated:
+            continue
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            base, attr = node.value.id, node.attr
+            if base == "time" and attr in _WALL_CLOCK_TIME:
+                flag(node, f"time.{attr}")
+            elif base == "datetime" and attr in _WALL_CLOCK_DATETIME:
+                flag(node, f"datetime.{attr}")
+            elif base == "random" and attr in _GLOBAL_RANDOM_FNS:
+                flag(node, f"the unseeded global RNG (random.{attr})")
+        elif isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Attribute
+        ):
+            inner = node.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id == "datetime"
+                and inner.attr == "datetime"
+                and node.attr in _WALL_CLOCK_DATETIME
+            ):
+                flag(node, f"datetime.datetime.{node.attr}")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr == "Random"
+                and not node.args
+                and not node.keywords
+            ):
+                flag(node, "an unseeded random.Random()")
+        elif isinstance(node, ast.ImportFrom) and node.module in (
+            "time", "datetime", "random"
+        ):
+            banned = {
+                "time": _WALL_CLOCK_TIME,
+                "datetime": _WALL_CLOCK_DATETIME,
+                "random": _GLOBAL_RANDOM_FNS,
+            }[node.module]
+            for alias in node.names:
+                if alias.name in banned:
+                    flag(node, f"{node.module}.{alias.name} (direct import)")
+
+
+# ---------------------------------------------------------------------------
+# R2 — ordered iteration: no accumulation over set iteration in det zones
+# ---------------------------------------------------------------------------
+
+_ACCUMULATOR_METHODS = {"append", "extend", "appendleft", "write"}
+
+
+def _body_accumulates(body: Sequence[ast.stmt]) -> Optional[ast.AST]:
+    """The first order-sensitive accumulation inside a loop body, if any.
+
+    ``+=`` (float/str/list accumulation) and ``.append``/``.extend`` calls
+    count; bitwise/int-exact augmented ops (``|= &= ^=``) are commutative
+    and exact, so they do not."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mult)
+            ):
+                return node
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ACCUMULATOR_METHODS
+            ):
+                return node
+    return None
+
+
+def rule_r2(tree: ast.Module, ann: FileAnnotations, path: str,
+            report: Report) -> None:
+    """Iterating a set while accumulating (``+=``, ``.append``) makes the
+    result depend on hash order, hence on ``PYTHONHASHSEED`` — the exact
+    failure mode behind cross-process float drift. Wrap the iterable in
+    ``sorted()`` (or restructure onto an ordered container)."""
+    if not ann.deterministic:
+        return
+    for scope in ast.walk(tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        klass_attrs: Set[str] = set()
+        # Cheap and good enough: set-typed self attributes are collected
+        # per module pass in rule driver via closure (see _run_r2_class).
+        types = _SetTypes(getattr(scope, "_reprolint_set_attrs", klass_attrs))
+        types.observe_function(scope)
+        for node in ast.walk(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not scope:
+                continue
+            if isinstance(node, ast.For) and types.is_set(node.iter):
+                acc = _body_accumulates(node.body)
+                if acc is not None:
+                    report(Finding(
+                        "R2", path, node.lineno, node.col_offset,
+                        "accumulation over unordered set iteration "
+                        f"({ast.unparse(node.iter)}); wrap the iterable in "
+                        "sorted()",
+                    ))
+
+
+def _attach_class_set_attrs(tree: ast.Module) -> None:
+    """Annotate every method node with its class's set-typed attributes so
+    R2/R7 can resolve ``self.<attr>`` iterables."""
+    for klass in ast.walk(tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        attrs = _class_set_attrs(klass)
+        for node in ast.walk(klass):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                node._reprolint_set_attrs = attrs  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# R3 — guarded-by lock discipline
+# ---------------------------------------------------------------------------
+
+def _with_locks(node: ast.With, ann: FileAnnotations) -> List[str]:
+    out = []
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            out.append(ann.canonical_lock(expr.attr))
+    return out
+
+
+def _def_holds(fn: ast.AST, ann: FileAnnotations) -> Set[str]:
+    locks: Set[str] = set()
+    for line in (fn.lineno, fn.lineno - 1):
+        for name in ann.holds.get(line, ()):
+            locks.add(ann.canonical_lock(name))
+    return locks
+
+
+def rule_r3(tree: ast.Module, ann: FileAnnotations, path: str,
+            report: Report) -> None:
+    """Attributes declared ``# guarded-by: <lock>`` may only be touched
+    inside ``with self.<lock>:`` (alias-resolved) or in a method carrying
+    ``# holds: <lock>``. ``__init__``/``__new__`` are exempt —
+    construction happens-before sharing. Scope: accesses through ``self``
+    within the declaring class; cross-object accesses need their own
+    discipline (and show up in review, not here)."""
+    if not ann.guarded:
+        return
+    for klass in ast.walk(tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        # Resolve which guarded-by declarations belong to this class: the
+        # annotated line must carry a self.<attr> (or bare name in class
+        # body) assignment inside the class span.
+        guarded: Dict[str, Tuple[str, ...]] = {}
+        for node in ast.walk(klass):
+            target: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and node.targets:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            else:
+                continue
+            locks = ann.guarded.get(node.lineno)
+            if not locks:
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                guarded[target.attr] = tuple(
+                    ann.canonical_lock(name) for name in locks
+                )
+        if not guarded:
+            continue
+
+        def check_fn(fn: ast.AST, held: Set[str]) -> None:
+            def visit(node: ast.AST, held: Set[str]) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef, ast.Lambda)):
+                        # A nested def runs later, not under these locks.
+                        visit(child, _def_holds(child, ann))
+                        continue
+                    child_held = held
+                    if isinstance(child, ast.With):
+                        acquired = _with_locks(child, ann)
+                        if acquired:
+                            child_held = held | set(acquired)
+                    if (
+                        isinstance(child, ast.Attribute)
+                        and isinstance(child.value, ast.Name)
+                        and child.value.id == "self"
+                        and child.attr in guarded
+                    ):
+                        needed = guarded[child.attr]
+                        if not any(lock in held for lock in needed):
+                            report(Finding(
+                                "R3", path, child.lineno, child.col_offset,
+                                f"{klass.name}.{child.attr} is guarded by "
+                                f"{' / '.join(needed)} but accessed without "
+                                f"it (wrap in `with self.{needed[0]}:` or "
+                                f"mark the method `# holds: {needed[0]}`)",
+                            ))
+                    visit(child, child_held)
+
+            visit(fn, held)
+
+        for method in klass.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in ("__init__", "__new__"):
+                continue
+            check_fn(method, _def_holds(method, ann))
+
+
+# ---------------------------------------------------------------------------
+# R4 — lock-ordering acquisition graph
+# ---------------------------------------------------------------------------
+
+def collect_lock_edges(tree: ast.Module, ann: FileAnnotations,
+                       path: str) -> List[LockEdge]:
+    """Lexical ``with <lock>`` nesting (plus ``holds:`` context) as
+    acquisition-order edges, by lock attribute name. Nested function
+    bodies reset the held set — a closure runs later, not under the
+    enclosing ``with``."""
+    edges: List[LockEdge] = []
+
+    def lock_names(node: ast.With) -> List[str]:
+        out = []
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Attribute) and expr.attr.endswith("lock"):
+                out.append(ann.canonical_lock(expr.attr))
+            elif (
+                isinstance(expr, ast.Attribute)
+                and ann.canonical_lock(expr.attr) != expr.attr
+            ):
+                out.append(ann.canonical_lock(expr.attr))
+        return out
+
+    def visit(node: ast.AST, held: Tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_held = held
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                visit(child, tuple(sorted(_def_holds(child, ann))))
+                continue
+            if isinstance(child, ast.With):
+                acquired = lock_names(child)
+                for inner in acquired:
+                    for outer in held:
+                        if outer != inner:
+                            edges.append(
+                                LockEdge(outer, inner, path, child.lineno)
+                            )
+                if acquired:
+                    child_held = held + tuple(
+                        name for name in acquired if name not in held
+                    )
+            visit(child, child_held)
+
+    visit(tree, ())
+    return edges
+
+
+def check_lock_graph(edges: Iterable[LockEdge]) -> List[Finding]:
+    """Cycle detection over the merged acquisition graph (all files)."""
+    graph: Dict[str, Dict[str, LockEdge]] = {}
+    for edge in edges:
+        graph.setdefault(edge.outer, {}).setdefault(edge.inner, edge)
+    findings: List[Finding] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+
+    def dfs(node: str, stack: List[str], on_stack: Set[str]) -> None:
+        for inner, edge in sorted(graph.get(node, {}).items()):
+            if inner in on_stack:
+                cycle = stack[stack.index(inner):] + [inner]
+                key = tuple(sorted(set(cycle)))
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    findings.append(Finding(
+                        "R4", edge.path, edge.line, 0,
+                        "lock-order cycle (potential deadlock inversion): "
+                        + " -> ".join(cycle),
+                    ))
+                continue
+            dfs(inner, stack + [inner], on_stack | {inner})
+
+    for node in sorted(graph):
+        dfs(node, [node], {node})
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# R5 — obs gating
+# ---------------------------------------------------------------------------
+
+_RECORDING_METHODS = {"inc", "observe", "dec"}
+
+
+def rule_r5(tree: ast.Module, ann: FileAnnotations, path: str,
+            report: Report) -> None:
+    """In modules importing ``repro.obs`` (outside ``obs/`` itself), metric
+    recording calls (``.inc()`` / ``.observe()`` / ``.dec()``) must sit on
+    the body of an ``if obs.state.enabled:`` gate — the documented
+    one-attribute check that makes ``REPRO_OBS=0`` a near-zero-cost no-op.
+    ``obs.span(...)`` is exempt: it gates internally and returns a shared
+    null context manager when disabled."""
+    if "/obs/" in path.replace("\\", "/") or not _imports_obs(tree):
+        return
+    for node, gated in _walk_gated(tree, False):
+        if gated:
+            continue
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RECORDING_METHODS
+        ):
+            report(Finding(
+                "R5", path, node.lineno, node.col_offset,
+                f"metric recording call .{node.func.attr}() outside the "
+                "`if obs.state.enabled:` gate; hot paths must pay one "
+                "attribute check, not a lock, when obs is off",
+            ))
+
+
+# ---------------------------------------------------------------------------
+# R6 — snapshot purity
+# ---------------------------------------------------------------------------
+
+def _is_serializer(fn: ast.AST) -> bool:
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    name = fn.name
+    return name in _SERIALIZER_EXACT_NAMES or any(
+        name.startswith(prefix) for prefix in _SERIALIZER_NAME_PREFIXES
+    )
+
+
+def rule_r6(tree: ast.Module, ann: FileAnnotations, path: str,
+            report: Report) -> None:
+    """Serialization functions (``export_state`` / ``to_payload`` /
+    ``checkpoint*`` / ``snapshot`` / ``metrics``) must not build set
+    values: a set reaching ``json.dumps`` fails, and a set flattened into
+    a list leaks hash order into the document. Construct through
+    ``sorted()`` instead. (``set``/``frozenset`` calls *inside* a
+    ``sorted()`` argument are fine.)"""
+    for fn in ast.walk(tree):
+        if not _is_serializer(fn):
+            continue
+
+        def visit(node: ast.AST, in_sorted: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_in_sorted = in_sorted
+                if isinstance(child, ast.Call):
+                    func = child.func
+                    if isinstance(func, ast.Name) and func.id == "sorted":
+                        child_in_sorted = True
+                    elif (
+                        not in_sorted
+                        and isinstance(func, ast.Name)
+                        and func.id in ("set", "frozenset")
+                    ):
+                        report(Finding(
+                            "R6", path, child.lineno, child.col_offset,
+                            f"serializer {fn.name}() builds a "
+                            f"{func.id}; emit sorted() output instead",
+                        ))
+                elif isinstance(child, (ast.Set, ast.SetComp)) and not in_sorted:
+                    report(Finding(
+                        "R6", path, child.lineno, child.col_offset,
+                        f"serializer {fn.name}() builds a set "
+                        "display/comprehension; emit sorted() output instead",
+                    ))
+                visit(child, child_in_sorted)
+
+        visit(fn, False)
+
+
+# ---------------------------------------------------------------------------
+# R7 — float-reduction order
+# ---------------------------------------------------------------------------
+
+def rule_r7(tree: ast.Module, ann: FileAnnotations, path: str,
+            report: Report) -> None:
+    """``sum()`` over a set-typed iterable reduces in hash order; float
+    addition is not associative, so the total depends on
+    ``PYTHONHASHSEED``. Reduce over ``sorted()`` input in kernel/cost
+    paths."""
+    if not ann.deterministic:
+        return
+    for scope in ast.walk(tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        types = _SetTypes(
+            getattr(scope, "_reprolint_set_attrs", set())
+        )
+        types.observe_function(scope)
+        for node in ast.walk(scope):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+            ):
+                continue
+            arg = node.args[0]
+            iterable: Optional[ast.expr] = None
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                iterable = arg.generators[0].iter
+            elif isinstance(arg, ast.SetComp):
+                report(Finding(
+                    "R7", path, node.lineno, node.col_offset,
+                    "sum() over a set comprehension reduces in hash order; "
+                    "sort the elements first",
+                ))
+                continue
+            else:
+                iterable = arg
+            if iterable is not None and types.is_set(iterable):
+                report(Finding(
+                    "R7", path, node.lineno, node.col_offset,
+                    f"sum() over set-typed iterable "
+                    f"({ast.unparse(iterable)}) reduces in hash order; "
+                    "reduce over sorted() input",
+                ))
+
+
+# ---------------------------------------------------------------------------
+# R8 — forbidden APIs
+# ---------------------------------------------------------------------------
+
+def rule_r8(tree: ast.Module, ann: FileAnnotations, path: str,
+            report: Report) -> None:
+    """Bare ``except:`` (swallows KeyboardInterrupt/SystemExit), mutable
+    default arguments (shared across calls), and — in deterministic zones
+    — ``assert`` statements (vanish under ``python -O``; raise explicitly
+    on the hot path instead)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            report(Finding(
+                "R8", path, node.lineno, node.col_offset,
+                "bare except: swallows KeyboardInterrupt/SystemExit; catch "
+                "Exception (or narrower) explicitly",
+            ))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) \
+                    or (
+                        isinstance(default, ast.Call)
+                        and isinstance(default.func, ast.Name)
+                        and default.func.id in ("list", "dict", "set")
+                        and not default.args and not default.keywords
+                    )
+                if mutable:
+                    report(Finding(
+                        "R8", path, default.lineno, default.col_offset,
+                        f"mutable default argument in {node.name}(); default "
+                        "to None (or a frozen value) and build inside",
+                    ))
+        elif isinstance(node, ast.Assert) and ann.deterministic:
+            report(Finding(
+                "R8", path, node.lineno, node.col_offset,
+                "assert in a deterministic-zone hot path vanishes under "
+                "python -O; raise an explicit error instead",
+            ))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: rule id -> (one-line description, zone_only, checker)
+RULES: Dict[str, Tuple[str, bool, Callable[..., None]]] = {
+    "R1": ("no wall-clock/unseeded-RNG reads in deterministic zones",
+           True, rule_r1),
+    "R2": ("no accumulation over unordered set iteration in deterministic "
+           "zones", True, rule_r2),
+    "R3": ("guarded-by attributes only touched under their lock",
+           False, rule_r3),
+    "R4": ("static lock-acquisition graph must be acyclic", False, None),
+    "R5": ("metric recording calls gated on obs.state.enabled",
+           False, rule_r5),
+    "R6": ("serializers must not emit unordered set values", False, rule_r6),
+    "R7": ("no sum() over set-typed iterables in deterministic zones",
+           True, rule_r7),
+    "R8": ("no bare except / mutable defaults / deterministic-zone asserts",
+           False, rule_r8),
+}
