@@ -28,7 +28,6 @@ from __future__ import annotations
 import argparse
 import cProfile
 import io
-import json
 import pathlib
 import pstats
 import sys
@@ -39,6 +38,7 @@ from typing import Dict, FrozenSet, List, Sequence
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro import obs
+from repro.ioutil import atomic_write_json
 from repro.core import wfa_kernel
 from repro.core.wfa_plus import WFAPlus
 from repro.core.wfa_reference import ReferenceWFA
@@ -315,7 +315,7 @@ def main(argv=None) -> int:
             else RESULTS_DIR / "bench_kernel.json"
         )
         out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(json.dumps(payload, indent=2) + "\n")
+        atomic_write_json(out, payload)
         print(f"\nsaved {out}")
 
     for row in rows:

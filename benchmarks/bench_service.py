@@ -42,10 +42,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import pathlib
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
@@ -55,8 +55,9 @@ from bench_kernel import candidate_pool, chunk_partition
 from repro import obs
 from repro.advisor import AdvisorSession
 from repro.db import StatsTransitionCosts, build_catalog
+from repro.ioutil import atomic_write_json
 from repro.optimizer import WhatIfOptimizer
-from repro.service import TuningEngine
+from repro.service import Durability, TuningEngine
 from repro.workload import MultiClientTrace, generate_workload, scaled_phases
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -169,6 +170,95 @@ def run_parallel_scaling(stats, statements, args):
     }
 
 
+#: The WAL-overhead section drives at least this many *unique* statements
+#: per mode. A quick trace (~100 statements, ~40 ms) is far too small to
+#: measure a ~10 µs/append + group-committed-fsync overhead against —
+#: startup costs and timer jitter dominate and the ratio swings ±30%.
+#: Repeating the trace is no fix: repeats are statement-cache hits, which
+#: shrinks the per-statement base cost and inflates the apparent relative
+#: overhead instead of stabilizing it.
+WAL_BENCH_MIN_STATEMENTS = 1200
+
+
+def run_wal_overhead(stats, partition, statements, batch_size,
+                     *, fsync_interval_ms):
+    """Per-statement ingest throughput with and without a WAL attached.
+
+    Both runs drive the identical single-client statement stream one
+    ``submit`` at a time (so the durable run pays one WAL append per
+    statement — ``submit_many`` would batch the whole stream into one
+    record and hide the cost), then pump. The durable run uses a
+    throwaway directory and the given group-commit interval; its
+    recommendations and totWork must be bit-identical to the non-durable
+    run (logging must never perturb tuning).
+    """
+
+    def _run(durable_dir):
+        optimizer = WhatIfOptimizer(stats)
+        engine = TuningEngine(
+            optimizer,
+            StatsTransitionCosts(stats),
+            batch_size=batch_size,
+            fixed_partition=partition,
+        )
+        durability = None
+        if durable_dir is not None:
+            durability = Durability(
+                durable_dir, fsync_interval_ms=fsync_interval_ms
+            )
+            durability.attach(engine)
+        started = time.perf_counter()
+        for statement in statements:
+            engine.submit("wal-bench", statement)
+        engine.pump()
+        elapsed = time.perf_counter() - started
+        outcome = (
+            tuple(sorted(ix.name for ix in engine.tuner.recommend())),
+            engine.total_work,
+        )
+        wal_stats = None
+        if durability is not None:
+            wal = durability.wal
+            wal_stats = {
+                "records": wal.records_appended,
+                "bytes": wal.bytes_appended,
+            }
+            durability.checkpoint(full=True)  # untimed: proves the full cycle
+            durability.close()
+        engine.close()
+        return len(statements) / elapsed, outcome, wal_stats
+
+    # Paired rounds, median per-pair ratio kept. The WAL's true cost is a
+    # few percent of per-statement analysis time, but host throughput
+    # drifts ±20% between CPU regimes on shared runners — comparing a
+    # best-of max per mode lets the two maxima sample *different* regimes
+    # and swing the ratio below any honest floor. Adjacent off/on runs
+    # share a regime, so their per-pair ratio cancels the drift, and the
+    # median across pairs shrugs off a single fsync spike or stall.
+    off_rate = on_rate = 0.0
+    off_outcome = on_outcome = wal_stats = None
+    ratios = []
+    for round_index in range(5):
+        rate, off_outcome, _ = _run(None)
+        off_rate = max(off_rate, rate)
+        with tempfile.TemporaryDirectory(prefix="bench-wal-") as tmp:
+            on, on_outcome, wal_stats = _run(os.path.join(tmp, "durable"))
+            on_rate = max(on_rate, on)
+            ratios.append(on / rate)
+    ratios.sort()
+    return {
+        "fsync_interval_ms": fsync_interval_ms,
+        "statements": len(statements),
+        "off_stmts_per_sec": off_rate,
+        "on_stmts_per_sec": on_rate,
+        "ratio": ratios[len(ratios) // 2],
+        "pair_ratios": ratios,
+        "wal_records": wal_stats["records"],
+        "wal_bytes": wal_stats["bytes"],
+        "identical": off_outcome == on_outcome,
+    }
+
+
 def run_shared(stats, partition, trace, batch_size):
     optimizer = WhatIfOptimizer(stats)
     engine = TuningEngine(
@@ -234,6 +324,11 @@ def main(argv=None) -> int:
                         "(default 4, quick 2)")
     parser.add_argument("--no-parallel", action="store_true",
                         help="skip the worker-count scaling rows")
+    parser.add_argument("--no-wal", action="store_true",
+                        help="skip the WAL-overhead section")
+    parser.add_argument("--wal-fsync-ms", type=float, default=5.0,
+                        help="group-commit interval for the WAL-overhead "
+                        "section (default 5.0 ms)")
     parser.add_argument("--no-check", action="store_true",
                         help="report only; do not enforce the 2x floor")
     parser.add_argument("--no-save", action="store_true",
@@ -340,6 +435,28 @@ def main(argv=None) -> int:
         "obs_enabled": obs.enabled(),
     }
 
+    wal = None
+    if not args.no_wal:
+        # A dedicated single-client stream of unique statements: enough
+        # work per statement (fresh plan derivations, not cache hits) and
+        # enough of them that the ~10 µs/append WAL cost is measured
+        # against real analysis cost, not timer jitter.
+        phases = max(1, len(statements) // per_phase)
+        wal_per_phase = max(
+            per_phase, -(-WAL_BENCH_MIN_STATEMENTS // phases)
+        )
+        wal_workload = generate_workload(
+            catalog, stats, scaled_phases(wal_per_phase), seed=args.seed
+        )
+        wal_statements = list(wal_workload.statements)
+        print(f"\nWAL overhead: {len(wal_statements)} single-client "
+              f"statements, {args.wal_fsync_ms:g} ms group commit…")
+        wal = run_wal_overhead(
+            stats, partition, wal_statements, args.batch_size,
+            fsync_interval_ms=args.wal_fsync_ms,
+        )
+        result["wal"] = wal
+
     parallel = None
     if not args.no_parallel:
         print("\nparallel scaling: "
@@ -364,6 +481,18 @@ def main(argv=None) -> int:
     indep_p95 = max(v["p95_ms"] for v in indep_latencies.values())
     print(f"per-session statement latency (worst client): "
           f"shared p95 {shared_p95:.3f} ms, independent p95 {indep_p95:.3f} ms")
+
+    if wal is not None:
+        print()
+        print(f"WAL overhead ({wal['wal_records']} records, "
+              f"{wal['wal_bytes']} bytes, "
+              f"{wal['fsync_interval_ms']:g} ms group commit)")
+        print(f"{'mode':<10} {'st/s':>10}")
+        print("-" * 22)
+        print(f"{'wal off':<10} {wal['off_stmts_per_sec']:>10.1f}")
+        print(f"{'wal on':<10} {wal['on_stmts_per_sec']:>10.1f}")
+        print(f"durable/non-durable throughput ratio {wal['ratio']:.3f}; "
+              f"outcomes identical: {wal['identical']}")
 
     if parallel is not None:
         print()
@@ -390,11 +519,18 @@ def main(argv=None) -> int:
             else RESULTS_DIR / "bench_service.json"
         )
         out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(json.dumps(result, indent=2) + "\n")
+        atomic_write_json(out, result)
         print(f"saved {out}")
 
     if not independents_agree:
         print("FAIL: independent sessions diverged (determinism bug)")
+        return 1
+    if wal is not None and not wal["identical"]:
+        # Correctness, not perf: attaching a WAL must never perturb the
+        # tuner, so this gates every run, quick included. The throughput
+        # ratio itself is gated by perf_gate.py --wal-overhead.
+        print("FAIL: durable and non-durable runs produced different "
+              "recommendations or totWork (WAL perturbed tuning)")
         return 1
     if parallel is not None and not parallel["identical"]:
         # Correctness, not perf: bit-identity across worker counts is the

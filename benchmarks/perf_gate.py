@@ -31,6 +31,15 @@ run) the 4-worker aggregate st/s must hold the ≥2.5× floor over the
 1-worker pin. Under-provisioned or quick measurements WARN, exactly like
 baseline rows with no available backend.
 
+With ``--wal-overhead`` (requires ``--service-current``) the gate also
+checks the service payload's WAL-overhead section: durable ingest under
+a group-committed WAL must hold ≥0.90× of the same trace's non-durable
+throughput (same machine, same run) — below that FAILs full runs (quick
+measurements WARN, like the parallel floor), 0.90–0.97× WARNs — and the
+durable run's recommendations/totWork must be identical
+to the non-durable run's (a divergence FAILs: logging must never perturb
+tuning).
+
 With ``--obs-overhead`` the gate compares two fresh quick runs of the
 same checkout — one with telemetry enabled (the default), one with
 ``REPRO_OBS=0`` — row by row against each other and against the pinned
@@ -176,6 +185,57 @@ def compare_service(payload, parallel_floor):
                f"workers ≥ {parallel_floor}x floor")
 
 
+#: --wal-overhead thresholds: durable-ingest throughput as a fraction of
+#: the same trace without a WAL attached (same machine, same run — raw
+#: rates are comparable). Below WAL_OVERHEAD_FAIL the group-committed log
+#: is eating more than its budget and the gate FAILs; between the two it
+#: WARNs. The constants live here, not in the bench JSON, so a bench edit
+#: cannot quietly relax the gate.
+WAL_OVERHEAD_FAIL = 0.90
+WAL_OVERHEAD_WARN = 0.97
+
+
+def compare_wal(payload):
+    """Gate checks for a bench_service JSON's WAL-overhead section."""
+    wal = payload.get("wal")
+    if wal is None:
+        yield ("WARN", "service run has no wal section (run "
+               "bench_service.py without --no-wal); not gated")
+        return
+    if not wal.get("identical", False):
+        yield ("FAIL", "wal overhead: durable and non-durable runs diverged "
+               "in recommendations or totWork (correctness, not perf)")
+    else:
+        yield ("ok", "wal overhead: durable run bit-identical to the "
+               "non-durable run")
+    ratio = wal.get("ratio")
+    if ratio is None:
+        yield ("WARN", "wal overhead: no throughput ratio recorded; "
+               "not gated")
+        return
+    detail = (f"durable ingest at {ratio:.3f}x of non-durable throughput "
+              f"({wal.get('fsync_interval_ms')} ms group commit, "
+              f"{wal.get('wal_records')} records)")
+    if ratio < WAL_OVERHEAD_FAIL:
+        if payload.get("quick", False):
+            # Same convention as the parallel floor: quick measurements
+            # are too short to hold a throughput ratio steady on a noisy
+            # runner, so the floor only FAILs full runs.
+            yield ("WARN", f"wal overhead: {detail}; below the "
+                   f"{WAL_OVERHEAD_FAIL:.2f}x floor but this is a --quick "
+                   f"measurement (not gated; rerun the full bench)")
+            return
+        yield ("FAIL", f"wal overhead: {detail}; floor "
+               f"{WAL_OVERHEAD_FAIL:.2f}x")
+    elif ratio < WAL_OVERHEAD_WARN:
+        yield ("WARN", f"wal overhead: {detail}; below the "
+               f"{WAL_OVERHEAD_WARN:.2f}x comfort line but above the "
+               f"{WAL_OVERHEAD_FAIL:.2f}x floor")
+    else:
+        yield ("ok", f"wal overhead: {detail} "
+               f"(≥ {WAL_OVERHEAD_WARN:.2f}x)")
+
+
 #: --obs-overhead thresholds: the REPRO_OBS=0 run may lose at most this
 #: fraction of seed-relative throughput vs the pinned baseline (FAIL), and
 #: the enabled run at most this fraction of the disabled run's raw st/s
@@ -253,6 +313,10 @@ def main(argv=None) -> int:
     parser.add_argument("--parallel-floor", type=float, default=2.5,
                         help="aggregate st/s floor at 4 workers vs the "
                         "1-worker pin (default 2.5)")
+    parser.add_argument("--wal-overhead", action="store_true",
+                        help="also gate the --service-current payload's "
+                        "WAL-overhead section (durable ingest ≥ "
+                        f"{WAL_OVERHEAD_FAIL}x of non-durable throughput)")
     parser.add_argument("--obs-overhead", action="store_true",
                         help="gate telemetry overhead: requires "
                         "--obs-disabled and --obs-enabled quick payloads")
@@ -271,6 +335,8 @@ def main(argv=None) -> int:
     if args.current is None and not args.obs_overhead:
         parser.error("provide --current (and/or --obs-overhead with its "
                      "two payloads)")
+    if args.wal_overhead and args.service_current is None:
+        parser.error("--wal-overhead requires --service-current")
 
     baseline = json.loads(args.baseline.read_text())
     failures = 0
@@ -295,6 +361,11 @@ def main(argv=None) -> int:
             print(f"{level}: {message}")
             if level == "FAIL":
                 failures += 1
+        if args.wal_overhead:
+            for level, message in compare_wal(service):
+                print(f"{level}: {message}")
+                if level == "FAIL":
+                    failures += 1
     if failures:
         print(f"\nperf gate: {failures} failing check(s) "
               f"(threshold {args.max_regression:.0%})")

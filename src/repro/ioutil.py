@@ -1,0 +1,136 @@
+"""Crash-consistency-aware file IO: a pluggable backend + atomic writes.
+
+Durability code must be *testable* under injected faults: a WAL that only
+ever talks to the real filesystem can't be killed mid-record in a unit
+test. :class:`FileIO` is the narrow waist — every filesystem touch the
+durability layer makes (append, fsync, rename, directory fsync) goes
+through one of these methods, so the fault harness
+(``tests/service/faults.py``) can substitute an in-memory model that
+distinguishes *written* bytes from *durable* bytes and crash between the
+two.
+
+:func:`atomic_write_json` is the one blessed way to publish a JSON
+artifact: write to a temp file, fsync it, rename over the destination,
+then fsync the parent directory so the rename itself survives a crash.
+A reader therefore observes either the old document or the new one,
+never a torn mixture — ``path.write_text`` gives no such guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import BinaryIO, Dict, List, Optional, Union
+
+__all__ = ["FileIO", "REAL_IO", "atomic_write_json"]
+
+PathLike = Union[str, os.PathLike]
+
+
+class FileIO:
+    """The real-OS implementation of the durability IO interface.
+
+    Methods are deliberately free-function-thin: the value of the class
+    is its *surface*, which the fault-injection harness mirrors with an
+    in-memory crash-consistency model. Anything the WAL or checkpoint
+    writer needs from the filesystem must be expressible here.
+    """
+
+    # -- handles ---------------------------------------------------------------
+
+    def open_append(self, path: PathLike) -> BinaryIO:
+        """Open ``path`` for appending (created if absent)."""
+        return open(os.fspath(path), "ab")
+
+    def open_write(self, path: PathLike) -> BinaryIO:
+        """Open ``path`` for writing, truncating any existing content."""
+        return open(os.fspath(path), "wb")
+
+    def write(self, handle: BinaryIO, data: bytes) -> int:
+        return handle.write(data)
+
+    def flush(self, handle: BinaryIO) -> None:
+        handle.flush()
+
+    def fsync(self, handle: BinaryIO) -> None:
+        """Force ``handle``'s written bytes to stable storage."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def truncate(self, handle: BinaryIO, size: int) -> None:
+        """Cut ``handle``'s file to ``size`` bytes."""
+        handle.flush()
+        handle.truncate(size)
+
+    def close(self, handle: BinaryIO) -> None:
+        handle.close()
+
+    # -- namespace -------------------------------------------------------------
+
+    def replace(self, src: PathLike, dst: PathLike) -> None:
+        """Atomically rename ``src`` over ``dst`` (POSIX rename semantics)."""
+        os.replace(os.fspath(src), os.fspath(dst))
+
+    def fsync_dir(self, path: PathLike) -> None:
+        """Force directory entries (creates/renames) under ``path`` durable."""
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def makedirs(self, path: PathLike) -> None:
+        os.makedirs(os.fspath(path), exist_ok=True)
+
+    def remove(self, path: PathLike) -> None:
+        os.remove(os.fspath(path))
+
+    # -- reads -----------------------------------------------------------------
+
+    def exists(self, path: PathLike) -> bool:
+        return os.path.exists(os.fspath(path))
+
+    def read_bytes(self, path: PathLike) -> bytes:
+        with open(os.fspath(path), "rb") as handle:
+            return handle.read()
+
+    def file_size(self, path: PathLike) -> int:
+        return os.path.getsize(os.fspath(path))
+
+    def listdir(self, path: PathLike) -> List[str]:
+        return sorted(os.listdir(os.fspath(path)))
+
+
+#: Process-wide default backend (the real filesystem).
+REAL_IO = FileIO()
+
+
+def atomic_write_json(
+    path: PathLike,
+    document: Dict[str, object],
+    *,
+    indent: Optional[int] = 2,
+    sort_keys: bool = True,
+    io: FileIO = REAL_IO,
+) -> pathlib.Path:
+    """Crash-atomically publish ``document`` as JSON at ``path``.
+
+    temp file + fsync + rename + parent-directory fsync: after a crash at
+    any instant, ``path`` holds either its previous content or the
+    complete new document. The temp file lives next to the destination
+    (same filesystem, so the rename is atomic) under a ``.tmp`` suffix;
+    readers that glob for real artifact names never see it.
+    """
+    target = pathlib.Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    data = (json.dumps(document, indent=indent, sort_keys=sort_keys) + "\n").encode("utf-8")
+    handle = io.open_write(tmp)
+    try:
+        io.write(handle, data)
+        io.fsync(handle)
+    finally:
+        io.close(handle)
+    io.replace(tmp, target)
+    io.fsync_dir(target.parent)
+    return target

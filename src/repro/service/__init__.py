@@ -5,27 +5,53 @@ Deployment-shaped packaging of the WFIT library: a
 client sessions over one shared WFIT core and one shared what-if optimizer
 (micro-batched single-writer ingest), with per-client audit logs and
 vote/materialization routing, versioned JSON checkpoint/restore
-(:mod:`repro.service.snapshot`), and a replay CLI
+(:mod:`repro.service.snapshot`), durable ingest — a submission
+write-ahead log plus atomic delta-checkpoint chains with crash recovery
+(:mod:`repro.service.wal`) — and a replay CLI
 (``python -m repro.service``).
 """
 
 from .engine import ClientSession, Recommendation, SessionEvent, TuningEngine
 from .snapshot import (
     SNAPSHOT_VERSION,
+    BrokenChain,
+    CorruptSnapshot,
+    SnapshotError,
+    UnsupportedVersion,
     checkpoint_engine,
     load_checkpoint,
+    resolve_chain,
     restore_engine,
     save_checkpoint,
 )
+from .wal import (
+    CorruptRecord,
+    Durability,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+)
 
 __all__ = [
+    "BrokenChain",
     "ClientSession",
+    "CorruptRecord",
+    "CorruptSnapshot",
+    "Durability",
     "Recommendation",
     "SNAPSHOT_VERSION",
     "SessionEvent",
+    "SnapshotError",
     "TuningEngine",
+    "UnsupportedVersion",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
     "checkpoint_engine",
     "load_checkpoint",
+    "read_wal",
+    "resolve_chain",
     "restore_engine",
     "save_checkpoint",
 ]

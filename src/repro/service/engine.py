@@ -227,6 +227,11 @@ class TuningEngine:
         # two concurrent start() calls can both pass the thread-is-None
         # check and leak a drain thread).
         self._queue: Deque[Tuple[str, Statement]] = deque()  # guarded-by: _ingest_lock
+        # Optional write-ahead log (attached by repro.service.wal.Durability).
+        # Submissions log under the ingest lock, votes/materializations under
+        # the pump lock — always in the same critical section as the in-memory
+        # mutation, so WAL order equals effect order.
+        self._wal = None  # guarded-by: _ingest_lock, _pump_lock
         self._ingest_lock = threading.Lock()
         self._pump_lock = threading.RLock()
         self._lifecycle_lock = threading.Lock()
@@ -347,6 +352,20 @@ class TuningEngine:
         self._client(client_id)
         return ClientSession(self, client_id)
 
+    def attach_wal(self, wal) -> None:
+        """Attach a :class:`repro.service.wal.WriteAheadLog` to the ingest
+        path (or detach with ``None``).
+
+        Both locks are taken so neither an in-flight submit nor the
+        single writer can observe a half-attached log; from the next
+        ingest-path operation on, every mutation is logged before it is
+        applied. Prefer :meth:`repro.service.wal.Durability.attach`,
+        which also manages sequence continuation and torn-tail repair.
+        """
+        with self._pump_lock:
+            with self._ingest_lock:
+                self._wal = wal
+
     def _log(self, client: _ClientState, kind: str, detail: str) -> None:
         client.events.append(SessionEvent(kind, detail, client.processed))
 
@@ -368,6 +387,10 @@ class TuningEngine:
         )
         client = self._client(client_id)
         with self._ingest_lock:
+            if self._wal is not None:
+                self._wal.append(
+                    "submit", {"client_id": client_id, "sql": to_sql(parsed)}
+                )
             self._queue.append((client_id, parsed))
             client.submitted += 1
             self._wakeup.notify()
@@ -397,6 +420,16 @@ class TuningEngine:
         if not batch:
             return 0
         with self._ingest_lock:
+            if self._wal is not None:
+                self._wal.append(
+                    "submit_many",
+                    {
+                        "entries": [
+                            {"client_id": client_id, "sql": to_sql(parsed)}
+                            for _, client_id, parsed in batch
+                        ]
+                    },
+                )
             for client, client_id, parsed in batch:
                 self._queue.append((client_id, parsed))
                 client.submitted += 1
@@ -549,6 +582,19 @@ class TuningEngine:
     ) -> FrozenSet[Index]:
         """Route explicit DBA votes from ``client_id`` to the shared core."""
         with self._pump_lock:
+            if self._wal is not None:
+                # The position pins the vote to the statement count it ran
+                # at: recovery pumps exactly that far before re-applying,
+                # so feedback lands on the same work-function state.
+                self._wal.append(
+                    "vote",
+                    {
+                        "client_id": client_id,
+                        "position": self._statements_processed,
+                        "plus": [ix.to_payload() for ix in sorted(f_plus)],
+                        "minus": [ix.to_payload() for ix in sorted(f_minus)],
+                    },
+                )
             rec = self._tuner.feedback(frozenset(f_plus), frozenset(f_minus))
         self._log(
             self._client(client_id),
@@ -563,6 +609,16 @@ class TuningEngine:
         with self._pump_lock:
             if index in self._materialized:
                 raise ValueError(f"{index.name} is already materialized")
+            if self._wal is not None:
+                self._wal.append(
+                    "materialize",
+                    {
+                        "client_id": client_id,
+                        "position": self._statements_processed,
+                        "action": "create",
+                        "index": index.to_payload(),
+                    },
+                )
             self._materialized.add(index)
             self._tuner.notify_materialized(
                 created={index}, dropped=frozenset()
@@ -574,6 +630,16 @@ class TuningEngine:
         with self._pump_lock:
             if index not in self._materialized:
                 raise ValueError(f"{index.name} is not materialized")
+            if self._wal is not None:
+                self._wal.append(
+                    "materialize",
+                    {
+                        "client_id": client_id,
+                        "position": self._statements_processed,
+                        "action": "drop",
+                        "index": index.to_payload(),
+                    },
+                )
             self._materialized.discard(index)
             self._tuner.notify_materialized(
                 created=frozenset(), dropped={index}
@@ -586,6 +652,18 @@ class TuningEngine:
         """Adopt the current recommendation wholesale for ``client_id``."""
         client = self._client(client_id)
         with self._pump_lock:
+            if self._wal is not None:
+                # Adoption is deterministic given the position: the replayed
+                # engine recomputes the same recommendation there, so only
+                # the action itself needs logging.
+                self._wal.append(
+                    "materialize",
+                    {
+                        "client_id": client_id,
+                        "position": self._statements_processed,
+                        "action": "adopt",
+                    },
+                )
             rec = self._tuner.recommend()
             created = tuple(sorted(rec - self._materialized))
             dropped = tuple(sorted(self._materialized - rec))
@@ -659,6 +737,9 @@ class TuningEngine:
         self,
         extra: Optional[Dict[str, object]] = None,
         drain: bool = True,
+        *,
+        snapshot_id: Optional[int] = None,
+        base: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """Serialize the full engine state to a versioned JSON document.
 
@@ -672,13 +753,18 @@ class TuningEngine:
         :meth:`restore`, so no submitted statement is ever dropped from a
         checkpoint. ``extra`` is stored verbatim under the ``"extra"``
         key (the replay CLI stashes trace parameters there).
+        ``snapshot_id``/``base`` are the durability layer's chaining
+        inputs (see :meth:`repro.service.wal.Durability.checkpoint`): with
+        a ``base`` full document, unchanged parts are elided into a delta.
         """
         from .snapshot import checkpoint_engine
 
         with self._pump_lock:
             if drain:
                 self.pump()
-            return checkpoint_engine(self, extra=extra)
+            return checkpoint_engine(
+                self, extra=extra, snapshot_id=snapshot_id, base=base
+            )
 
     @classmethod
     def restore(
@@ -696,6 +782,38 @@ class TuningEngine:
         from .snapshot import restore_engine
 
         return restore_engine(document, optimizer, transitions)
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        optimizer: WhatIfOptimizer,
+        transitions,
+        *,
+        io=None,
+        engine_options: Optional[Dict[str, object]] = None,
+    ) -> Tuple["TuningEngine", Dict[str, object]]:
+        """Rebuild an engine from a durability directory (snapshot chain +
+        WAL tail); returns ``(engine, report)``.
+
+        The newest snapshot whose chain resolves is restored, then the
+        WAL tail is replayed — submissions re-enter the queue, votes and
+        materializations re-apply at the statement positions they
+        originally ran at; a torn final record is tolerated, mid-file
+        corruption refuses with :class:`repro.service.wal.CorruptRecord`.
+        Replayed submissions are left queued: pump (or attach a fresh
+        WAL via :class:`repro.service.wal.Durability` first) to continue.
+        """
+        from ..ioutil import REAL_IO
+        from .wal import Durability
+
+        return Durability.recover(
+            directory,
+            optimizer,
+            transitions,
+            io=io if io is not None else REAL_IO,
+            engine_options=engine_options,
+        )
 
 
 class ClientSession:

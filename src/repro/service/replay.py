@@ -1,22 +1,30 @@
 """Replay CLI: drive the tuning service over a generated multi-client trace.
 
-Two subcommands::
+Three subcommands::
 
     python -m repro.service replay  [trace options] \
-        [--checkpoint-at K --checkpoint PATH] [--metrics-out PATH]
+        [--checkpoint-at K --checkpoint PATH] \
+        [--durable-dir DIR [--checkpoint-every K] [--wal-fsync-ms MS]] \
+        [--metrics-out PATH]
     python -m repro.service resume  --checkpoint PATH [--verify]
+    python -m repro.service recover --dir DIR [--verify]
 
 ``replay`` deterministically generates the paper's phase-shifting workload,
 deals it across N simulated clients, and streams it through a
 :class:`~repro.service.engine.TuningEngine` (micro-batched ingest). With
 ``--checkpoint-at K`` it serializes the engine after K statements; the
 trace parameters are stashed inside the checkpoint document, so ``resume``
-needs only the checkpoint file. ``resume --verify`` additionally runs the
-uninterrupted engine over the full trace and asserts the restored engine's
-per-statement recommendation sequence and final totWork match — the
-step-identical restore guarantee — exiting non-zero on any divergence.
+needs only the checkpoint file. With ``--durable-dir`` the run is durable:
+every submission is write-ahead logged before it enters the queue, and
+``--checkpoint-every K`` publishes a crash-atomic (delta-chained) snapshot
+every K statements — kill the process at any instant and ``recover``
+rebuilds the engine from the directory. ``resume --verify`` /
+``recover --verify`` additionally run the uninterrupted engine over the
+same trace and assert the restored engine's per-statement recommendation
+sequence and final totWork match — the step-identical guarantee — exiting
+1 on divergence; unreadable or chain-broken durable state exits 2.
 
-Both subcommands emit a JSON metrics report (stdout or ``--metrics-out``);
+All subcommands emit a JSON metrics report (stdout or ``--metrics-out``);
 the report embeds a full :mod:`repro.obs` registry snapshot under ``"obs"``
 (validate/pretty-print with ``python -m repro.obs``), and ``--trace-out``
 writes the recent pipeline spans as a Chrome ``trace_event`` JSON loadable
@@ -34,10 +42,12 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import obs
 from ..db import StatsTransitionCosts, build_catalog
+from ..ioutil import atomic_write_json
 from ..optimizer.whatif import WhatIfOptimizer
 from ..workload import MultiClientTrace, generate_workload, scaled_phases
 from .engine import TuningEngine
-from .snapshot import load_checkpoint, save_checkpoint
+from .snapshot import SnapshotError, load_checkpoint, save_checkpoint
+from .wal import Durability, WalError, latest_snapshot_document
 
 __all__ = ["main"]
 
@@ -88,12 +98,11 @@ def _build_engine(
 
 
 def _emit(report: Dict[str, object], metrics_out: Optional[str]) -> None:
-    text = json.dumps(report, indent=2, sort_keys=True)
     if metrics_out:
-        pathlib.Path(metrics_out).write_text(text + "\n")
+        atomic_write_json(metrics_out, report)
         print(f"metrics written to {metrics_out}")
     else:
-        print(text)
+        print(json.dumps(report, indent=2, sort_keys=True))
 
 
 def _attach_obs(report: Dict[str, object], trace_out: Optional[str]) -> None:
@@ -101,9 +110,7 @@ def _attach_obs(report: Dict[str, object], trace_out: Optional[str]) -> None:
     report["obs"] = obs.default_registry().snapshot()
     if trace_out:
         document = obs.default_tracer().export_chrome()
-        pathlib.Path(trace_out).write_text(
-            json.dumps(document) + "\n"
-        )
+        atomic_write_json(trace_out, document, indent=None)
         print(f"trace written to {trace_out}")
 
 
@@ -137,6 +144,24 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.checkpoint and checkpoint_at is None:
         print("--checkpoint requires --checkpoint-at K", file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None and not args.durable_dir:
+        print("--checkpoint-every requires --durable-dir DIR", file=sys.stderr)
+        return 2
+
+    durability = None
+    durable_extra = {"trace": params, "engine_options": engine_options}
+    if args.durable_dir:
+        durability = Durability(
+            args.durable_dir,
+            fsync_interval_ms=args.wal_fsync_ms,
+            full_every=args.full_every,
+        )
+        durability.attach(engine)
+        # An initial full snapshot pins the trace parameters in the
+        # directory: `recover` can rebuild the workload even if the
+        # process dies before the first periodic checkpoint.
+        durability.checkpoint(full=True, extra=durable_extra)
+
     started = time.perf_counter()
     if checkpoint_at is not None:
         checkpoint_at = max(0, min(checkpoint_at, len(trace)))
@@ -149,9 +174,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         })
         save_checkpoint(args.checkpoint, document)
         engine.submit_many(trace.suffix(checkpoint_at))
+        engine.pump()
+    elif durability is not None and args.checkpoint_every:
+        every = max(1, args.checkpoint_every)
+        for start in range(0, len(trace), every):
+            engine.submit_many(trace[start : start + every])
+            engine.pump()
+            durability.checkpoint(extra=durable_extra)
     else:
         engine.submit_many(trace)
-    engine.pump()
+        engine.pump()
     elapsed = time.perf_counter() - started
 
     report = {
@@ -165,13 +197,26 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "checkpoint_at": checkpoint_at,
         "metrics": engine.metrics(),
     }
+    if durability is not None:
+        wal = durability.wal
+        report["durability"] = {
+            "directory": durability.directory,
+            "wal_records": wal.records_appended,
+            "wal_bytes": wal.bytes_appended,
+            "wal_fsync_interval_ms": wal.fsync_interval_ms,
+        }
+        durability.close()
     _attach_obs(report, args.trace_out)
     _emit(report, args.metrics_out)
     return 0
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    document = load_checkpoint(args.checkpoint)
+    try:
+        document = load_checkpoint(args.checkpoint)
+    except SnapshotError as exc:
+        print(f"cannot load checkpoint: {exc}", file=sys.stderr)
+        return 2
     extra = document.get("extra") or {}
     if "trace" not in extra:
         print(
@@ -185,9 +230,13 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     engine_options = dict(extra.get("engine_options") or {})
     stats, trace = _build_trace(params)
 
-    restored = TuningEngine.restore(
-        document, WhatIfOptimizer(stats), StatsTransitionCosts(stats)
-    )
+    try:
+        restored = TuningEngine.restore(
+            document, WhatIfOptimizer(stats), StatsTransitionCosts(stats)
+        )
+    except SnapshotError as exc:
+        print(f"cannot restore checkpoint: {exc}", file=sys.stderr)
+        return 2
     started = time.perf_counter()
     restored_recs = _step_recommendations(restored, trace.suffix(position))
     elapsed = time.perf_counter() - started
@@ -236,6 +285,98 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    document = latest_snapshot_document(args.dir)
+    if document is None:
+        print(
+            f"no loadable snapshot in {args.dir} (was the directory written "
+            "by `repro.service replay --durable-dir`?)",
+            file=sys.stderr,
+        )
+        return 2
+    extra = document.get("extra") or {}
+    if "trace" not in extra:
+        print("durable snapshot lacks trace parameters", file=sys.stderr)
+        return 2
+    params = dict(extra["trace"])
+    engine_options = dict(extra.get("engine_options") or {})
+    stats, trace = _build_trace(params)
+
+    started = time.perf_counter()
+    try:
+        engine, recovery = TuningEngine.recover(
+            args.dir, WhatIfOptimizer(stats), StatsTransitionCosts(stats)
+        )
+    except (SnapshotError, WalError) as exc:
+        print(f"recover failed: {exc}", file=sys.stderr)
+        return 2
+    start_position = engine.statements_processed
+    # Step the recovered backlog (snapshot pending + replayed WAL tail)
+    # one statement at a time, recording each recommendation — the same
+    # single-step discipline the verify reference uses.
+    recovered_recs: List[Tuple[str, ...]] = []
+    while engine.queue_depth > 0:
+        engine.pump(1)
+        recovered_recs.append(
+            tuple(ix.name for ix in sorted(engine.tuner.recommend()))
+        )
+    end_position = engine.statements_processed
+    elapsed = time.perf_counter() - started
+
+    report: Dict[str, object] = {
+        "command": "recover",
+        "directory": str(args.dir),
+        "trace": params,
+        "recovery": recovery,
+        "recovered_at": start_position,
+        "statements_replayed": end_position - start_position,
+        "elapsed_seconds": elapsed,
+        "metrics": engine.metrics(),
+    }
+
+    exit_code = 0
+    if args.verify:
+        if end_position > len(trace):
+            print(
+                "recovered engine is ahead of the generated trace — "
+                "durable directory does not match the trace parameters",
+                file=sys.stderr,
+            )
+            return 2
+        reference = _build_engine(stats, engine.batch_size, engine_options)
+        reference.submit_many(trace.prefix(start_position))
+        reference.pump()
+        reference_recs = _step_recommendations(
+            reference, trace[start_position:end_position]
+        )
+        mismatches = [
+            {"step": start_position + i, "recovered": list(a), "reference": list(b)}
+            for i, (a, b) in enumerate(zip(recovered_recs, reference_recs))
+            if a != b
+        ]
+        work_delta = abs(engine.total_work - reference.total_work)
+        verified = (
+            len(recovered_recs) == len(reference_recs)
+            and not mismatches
+            and work_delta
+            <= _VERIFY_TOL * max(1.0, abs(reference.total_work))
+        )
+        report["verify"] = {
+            "verified": verified,
+            "recommendation_mismatches": mismatches,
+            "total_work_recovered": engine.total_work,
+            "total_work_reference": reference.total_work,
+            "total_work_delta": work_delta,
+        }
+        if not verified:
+            exit_code = 1
+    _attach_obs(report, args.trace_out)
+    _emit(report, args.metrics_out)
+    if exit_code:
+        print("VERIFY FAILED: recovered run diverged", file=sys.stderr)
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -274,6 +415,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="serialize the engine after this many statements")
     replay.add_argument("--checkpoint", type=str, default=None,
                         help="checkpoint output path (JSON)")
+    replay.add_argument("--durable-dir", type=str, default=None,
+                        help="run durably: write-ahead log every submission "
+                        "into DIR and publish crash-atomic snapshots there "
+                        "(recover with `recover --dir DIR`)")
+    replay.add_argument("--checkpoint-every", type=int, default=None,
+                        help="with --durable-dir: publish a (delta-chained) "
+                        "snapshot every K statements")
+    replay.add_argument("--full-every", type=int, default=4,
+                        help="with --durable-dir: every Nth snapshot is full "
+                        "rather than a delta (default 4)")
+    replay.add_argument("--wal-fsync-ms", type=float, default=None,
+                        help="WAL group-commit interval in ms (default: the "
+                        "REPRO_WAL_FSYNC_MS env var, else 0 = fsync every "
+                        "record)")
     replay.add_argument("--metrics-out", type=str, default=None,
                         help="write the JSON report here instead of stdout")
     replay.add_argument("--trace-out", type=str, default=None,
@@ -296,6 +451,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write recent pipeline spans as Chrome "
                         "trace_event JSON (chrome://tracing / Perfetto)")
     resume.set_defaults(func=_cmd_resume)
+
+    recover = sub.add_parser(
+        "recover", help="rebuild an engine from a durable directory "
+        "(snapshot chain + WAL tail) and finish its backlog",
+    )
+    recover.add_argument("--dir", type=str, required=True,
+                         help="durable directory written by "
+                         "`replay --durable-dir`")
+    recover.add_argument("--verify", action="store_true",
+                         help="also run the uninterrupted engine and assert "
+                         "step-identical recommendations and totWork")
+    recover.add_argument("--metrics-out", type=str, default=None,
+                         help="write the JSON report here instead of stdout")
+    recover.add_argument("--trace-out", type=str, default=None,
+                         help="write recent pipeline spans as Chrome "
+                         "trace_event JSON (chrome://tracing / Perfetto)")
+    recover.set_defaults(func=_cmd_recover)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -16,8 +16,18 @@ step-identically:
   audit logs;
 * the *pending queue* — statements submitted but not yet pumped at the
   snapshot point (version 2). They are serialized as SQL and re-submitted
-  on restore, so a crash between submit and pump no longer loses work
-  (the ROADMAP's WAL gap, closed at the checkpoint layer).
+  on restore, so a crash between submit and pump no longer loses work;
+* the WAL high-water mark and delta chaining (version 3): a document
+  records the highest WAL sequence number it covers (``wal_seq``), and a
+  **delta** document re-serializes only the parts whose work-function
+  state changed since a **base** full snapshot, replacing unchanged parts
+  with ``{"indices": ..., "same_as_base": true}`` and naming the base by
+  ``base_id``. :func:`resolve_chain` overlays a delta back onto its base;
+  :func:`restore_engine` only accepts resolved (full-equivalent)
+  documents. Change detection uses the per-part ``w_version`` mutation
+  counter (see :class:`repro.core.wfa.WFA`) plus the tuner's
+  ``repartition_count`` as an epoch guard — a repartition rebuilds every
+  instance, so counters from different epochs are never compared.
 
 Costs themselves are *not* serialized: they are deterministic functions of
 ``(statement, configuration)`` under the analytical cost model, so a fresh
@@ -26,7 +36,8 @@ needs statistics, not gigabytes of memoized plans.
 
 Documents are plain JSON (floats round-trip exactly through Python's
 ``json``) with a top-level ``version``; :func:`restore_engine` rejects
-unknown versions up front.
+unknown versions up front with a typed :class:`SnapshotError` (still a
+``ValueError``, so pre-existing callers keep working).
 """
 
 from __future__ import annotations
@@ -37,26 +48,59 @@ from typing import Dict, Optional, Union
 
 from ..core.wfit import WFIT
 from ..db.index import Index
+from ..ioutil import REAL_IO, FileIO, atomic_write_json
 from ..optimizer.whatif import WhatIfOptimizer
 
 __all__ = [
     "SNAPSHOT_VERSION",
+    "BrokenChain",
+    "CorruptSnapshot",
+    "SnapshotError",
+    "UnsupportedVersion",
     "checkpoint_engine",
     "load_checkpoint",
+    "resolve_chain",
     "restore_engine",
     "save_checkpoint",
 ]
 
 #: Format version of engine checkpoint documents. Version 2 added the
-#: ``"pending"`` list (submitted-but-unpumped statements); version-1
-#: documents — which could not carry a queue — still restore.
-SNAPSHOT_VERSION = 2
+#: ``"pending"`` list (submitted-but-unpumped statements); version 3 added
+#: durability metadata (``kind``/``snapshot_id``/``base_id``/``wal_seq``)
+#: and delta documents. Older documents still restore.
+SNAPSHOT_VERSION = 3
 
 #: Versions :func:`restore_engine` accepts.
-_SUPPORTED_VERSIONS = (1, 2)
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
-def checkpoint_engine(engine, extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+class SnapshotError(ValueError):
+    """Base class for checkpoint load/restore failures.
+
+    Subclasses ``ValueError`` so callers predating the hierarchy (which
+    caught ``ValueError`` around :func:`restore_engine`) keep working.
+    """
+
+
+class UnsupportedVersion(SnapshotError):
+    """The document's ``version`` is not one this build can restore."""
+
+
+class CorruptSnapshot(SnapshotError):
+    """The document is unreadable (bad JSON / not an object)."""
+
+
+class BrokenChain(SnapshotError):
+    """A delta document cannot be resolved against its base snapshot."""
+
+
+def checkpoint_engine(
+    engine,
+    extra: Optional[Dict[str, object]] = None,
+    *,
+    snapshot_id: Optional[int] = None,
+    base: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
     """Serialize ``engine`` between micro-batches.
 
     Prefer ``TuningEngine.checkpoint()``, which manages the writer lock
@@ -68,6 +112,11 @@ def checkpoint_engine(engine, extra: Optional[Dict[str, object]] = None) -> Dict
     the statements the original would have. Each session's serialized
     ``submitted`` counter equals its ``processed`` count; replaying the
     pending list restores the original submission counts.
+
+    With ``base`` (a version-3 *full* document), the result is converted
+    to a delta when at least one part's work-function state is unchanged
+    since the base; otherwise (including whenever the partition changed)
+    the full document is returned as-is.
     """
     from ..query.parser import to_sql
 
@@ -75,15 +124,25 @@ def checkpoint_engine(engine, extra: Optional[Dict[str, object]] = None) -> Dict
         # Client registration and the queue mutate under the ingest lock
         # (a concurrent first-ever submit inserts into the table);
         # snapshot both before iterating. Per-client processed counts and
-        # events only mutate under the pump lock we already hold.
+        # events only mutate under the pump lock we already hold. The WAL
+        # high-water mark is read in the same region as the queue: a
+        # record is appended and its statement enqueued under one ingest-
+        # lock acquisition, so ``wal_seq`` covers exactly the submissions
+        # the ``pending`` list (plus processed history) accounts for.
         with engine._ingest_lock:
             clients = sorted(engine._clients.items())
             pending = [
                 {"client_id": client_id, "sql": to_sql(statement)}
                 for client_id, statement in engine._queue
             ]
+            wal = engine._wal
+            wal_seq = wal.appended_seq if wal is not None else 0
         document: Dict[str, object] = {
             "version": SNAPSHOT_VERSION,
+            "kind": "full",
+            "snapshot_id": snapshot_id,
+            "base_id": None,
+            "wal_seq": wal_seq,
             "batch_size": engine.batch_size,
             "tuner": engine.tuner.export_state(),
             "universe_order": [
@@ -115,9 +174,123 @@ def checkpoint_engine(engine, extra: Optional[Dict[str, object]] = None) -> Dict
             ],
             "pending": pending,
         }
+    if base is not None:
+        delta = _delta_against(document, base)
+        if delta is not None:
+            document = delta
     if extra is not None:
         document["extra"] = extra
     return document
+
+
+def _state_unchanged(
+    base_state: Dict[str, object], state: Dict[str, object]
+) -> bool:
+    """Whether a part's work-function state is identical to the base's.
+
+    Equal ``w_version`` counters prove no kernel mutation happened since
+    the base (same partition epoch, same instance — the caller checked
+    ``repartition_count``), so the expensive comparison is skipped. A
+    differing counter is only *suspicion*: a feedback whose votes did not
+    move this part bumps the counter without changing any value, so the
+    exact per-field comparison (w vector, recommendation mask, statement
+    count) decides.
+    """
+    if base_state.get("w_version") == state.get("w_version"):
+        return True
+    keys = (set(base_state) | set(state)) - {"w_version"}
+    return all(base_state.get(key) == state.get(key) for key in keys)
+
+
+def _delta_against(
+    document: Dict[str, object], base: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """``document`` as a delta chained to ``base``, or None when a delta
+    is impossible (pre-v3 base, repartition since the base, no shared
+    parts) — the caller then publishes the full document."""
+    if base.get("version") != SNAPSHOT_VERSION or base.get("kind") != "full":
+        return None
+    if base.get("snapshot_id") is None:
+        return None
+    base_tuner = base["tuner"]
+    tuner = document["tuner"]
+    # A repartition rebuilds every WFA instance, resetting its w_version
+    # counter: counters are only comparable within one partition epoch.
+    if base_tuner.get("repartition_count") != tuner.get("repartition_count"):
+        return None
+    base_parts = base_tuner["parts"]
+    parts = tuner["parts"]
+    if len(base_parts) != len(parts):
+        return None
+    shared = 0
+    delta_parts = []
+    for base_part, part in zip(base_parts, parts):
+        if base_part["indices"] == part["indices"] and _state_unchanged(
+            base_part["state"], part["state"]
+        ):
+            delta_parts.append({"indices": part["indices"], "same_as_base": True})
+            shared += 1
+        else:
+            delta_parts.append(part)
+    if shared == 0:
+        return None
+    delta = dict(document)
+    delta["kind"] = "delta"
+    delta["base_id"] = base["snapshot_id"]
+    delta_tuner = dict(tuner)
+    delta_tuner["parts"] = delta_parts
+    delta["tuner"] = delta_tuner
+    return delta
+
+
+def resolve_chain(
+    document: Dict[str, object], base: Dict[str, object]
+) -> Dict[str, object]:
+    """Overlay a delta ``document`` onto its ``base`` full snapshot.
+
+    Full documents pass through untouched. Raises :class:`BrokenChain`
+    when the chain does not validate: wrong base id, a base that is not a
+    full snapshot, or per-part index sets that diverge from what the
+    delta recorded.
+    """
+    if document.get("kind") != "delta":
+        return document
+    if base.get("kind") != "full":
+        raise BrokenChain(
+            f"delta snapshot {document.get('snapshot_id')!r} chained to "
+            f"snapshot {base.get('snapshot_id')!r}, which is not a full snapshot"
+        )
+    if base.get("snapshot_id") is None or document.get("base_id") != base.get("snapshot_id"):
+        raise BrokenChain(
+            f"delta snapshot {document.get('snapshot_id')!r} names base "
+            f"{document.get('base_id')!r} but was resolved against "
+            f"{base.get('snapshot_id')!r}"
+        )
+    base_parts = base["tuner"]["parts"]
+    parts = document["tuner"]["parts"]
+    if len(parts) != len(base_parts):
+        raise BrokenChain(
+            f"delta snapshot {document.get('snapshot_id')!r} has "
+            f"{len(parts)} parts; its base has {len(base_parts)}"
+        )
+    resolved_parts = []
+    for position, part in enumerate(parts):
+        if part.get("same_as_base"):
+            base_part = base_parts[position]
+            if base_part["indices"] != part["indices"]:
+                raise BrokenChain(
+                    f"delta snapshot {document.get('snapshot_id')!r} part "
+                    f"{position} indices diverge from its base"
+                )
+            resolved_parts.append(base_part)
+        else:
+            resolved_parts.append(part)
+    resolved = dict(document)
+    resolved_tuner = dict(document["tuner"])
+    resolved_tuner["parts"] = resolved_parts
+    resolved["tuner"] = resolved_tuner
+    resolved["kind"] = "full"
+    return resolved
 
 
 def restore_engine(
@@ -129,15 +302,22 @@ def restore_engine(
 
     ``optimizer`` must be freshly built over statistics equivalent to the
     original's; its mask universe is seeded with the checkpointed bit
-    order before any statement flows through it.
+    order before any statement flows through it. Delta documents must be
+    resolved first (:func:`resolve_chain`); passing one raises
+    :class:`BrokenChain`.
     """
     from .engine import SessionEvent, TuningEngine
 
     version = document.get("version")
     if version not in _SUPPORTED_VERSIONS:
-        raise ValueError(
+        raise UnsupportedVersion(
             f"unsupported engine checkpoint version {version!r} "
             f"(supported: {_SUPPORTED_VERSIONS})"
+        )
+    if document.get("kind") == "delta":
+        raise BrokenChain(
+            "delta checkpoint cannot restore on its own; overlay it onto "
+            "its base snapshot with resolve_chain() first"
         )
     optimizer.mask_universe.extend_order(
         Index.from_payload(payload) for payload in document["universe_order"]
@@ -184,14 +364,30 @@ def restore_engine(
 
 
 def save_checkpoint(
-    path: Union[str, pathlib.Path], document: Dict[str, object]
+    path: Union[str, pathlib.Path],
+    document: Dict[str, object],
+    *,
+    io: FileIO = REAL_IO,
 ) -> pathlib.Path:
-    """Write a checkpoint document as JSON; returns the path."""
-    path = pathlib.Path(path)
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return path
+    """Crash-atomically write a checkpoint document as JSON; returns the
+    path (temp file + fsync + rename + parent-dir fsync — a reader sees
+    either the previous document or the complete new one, never a tear)."""
+    return atomic_write_json(path, document, io=io)
 
 
-def load_checkpoint(path: Union[str, pathlib.Path]) -> Dict[str, object]:
-    """Read a checkpoint document written by :func:`save_checkpoint`."""
-    return json.loads(pathlib.Path(path).read_text())
+def load_checkpoint(
+    path: Union[str, pathlib.Path], *, io: FileIO = REAL_IO
+) -> Dict[str, object]:
+    """Read a checkpoint document written by :func:`save_checkpoint`.
+
+    Raises :class:`CorruptSnapshot` when the file is not a JSON object
+    (torn legacy writes, bit rot); missing files propagate ``OSError``.
+    """
+    raw = io.read_bytes(path)
+    try:
+        document = json.loads(raw)
+    except ValueError as exc:
+        raise CorruptSnapshot(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict):
+        raise CorruptSnapshot(f"{path}: snapshot document must be a JSON object")
+    return document

@@ -1,0 +1,264 @@
+"""In-memory crash-consistency model of :class:`repro.ioutil.FileIO`.
+
+The durability layer funnels every filesystem touch through the
+``FileIO`` surface; :class:`FaultyIO` mirrors that surface over plain
+dictionaries while tracking, per file, both the *live* content (what the
+OS page cache would hold) and the *durable* content (what an fsync has
+actually pinned to stable storage). Directory entries get the same
+treatment: a create or rename is volatile until the parent directory is
+fsynced, exactly the POSIX contract ``atomic_write_json`` is written
+against.
+
+Faults are scheduled as "crash at the N-th occurrence of op X" (or of
+any mutating op, for random kill points). When a scheduled point is hit
+the model first simulates power loss — every file reverts to its durable
+bytes, every non-durable name vanishes — and then raises
+:class:`SimulatedCrash` into the caller. Whatever the test recovers from
+afterwards is, by construction, only what a real crash could have left
+behind.
+
+Extra corruption knobs (``flip_byte``, ``truncate_durable``,
+``drop_fsyncs``) model media corruption, torn sectors, and lying disks.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+__all__ = ["FaultyIO", "SimulatedCrash", "MUTATING_OPS"]
+
+#: Ops that change on-disk state; ``schedule_crash(op="*")`` counts these.
+MUTATING_OPS = ("write", "fsync", "truncate", "replace", "fsync_dir")
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised at a scheduled fault point.
+
+    By the time this propagates, the :class:`FaultyIO` has already
+    discarded all volatile state — the test should abandon the crashed
+    engine and run recovery against the same IO instance.
+    """
+
+
+class _File:
+    __slots__ = ("live", "durable")
+
+    def __init__(self, live: bytes = b"", durable: bytes = b"") -> None:
+        self.live = bytearray(live)
+        self.durable = bytes(durable)
+
+
+class _Handle:
+    __slots__ = ("path", "file", "closed")
+
+    def __init__(self, path: str, file: _File) -> None:
+        self.path = path
+        self.file = file
+        self.closed = False
+
+
+class FaultyIO:
+    """Drop-in ``FileIO`` substitute with scheduled crashes.
+
+    * ``self._live``    — name -> file as the running process sees it
+    * ``self._durable`` — name -> file as stable storage sees it (the
+      mapping is what survives a crash; each file's ``durable`` bytes are
+      its surviving content)
+    """
+
+    def __init__(self) -> None:
+        self._live: Dict[str, _File] = {}
+        self._durable: Dict[str, _File] = {}
+        self._dirs: set = set()
+        self.drop_fsyncs = False
+        self.crashes = 0
+        self.op_counts: Dict[str, int] = {}
+        self._schedule: List[Dict[str, object]] = []
+
+    # -- fault scheduling ------------------------------------------------------
+
+    def schedule_crash(self, op: str = "*", at: int = 1, phase: str = "before") -> None:
+        """Crash at the ``at``-th occurrence (1-based, counted from now) of
+        ``op`` — ``"*"`` matches any op in :data:`MUTATING_OPS`. ``phase``
+        is ``"before"`` (op never happens), ``"after"`` (op fully applied,
+        then power loss), or ``"mid"`` (``write`` only: half the bytes
+        land *and* reach the platter — the torn-record case)."""
+        if phase not in ("before", "after", "mid"):
+            raise ValueError(f"unknown phase {phase!r}")
+        self._schedule.append({"op": op, "remaining": int(at), "phase": phase})
+
+    def _tick(self, op: str) -> Optional[str]:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        for entry in self._schedule:
+            remaining = entry["remaining"]
+            if not isinstance(remaining, int) or remaining <= 0:
+                continue
+            target = entry["op"]
+            if target == "*":
+                if op not in MUTATING_OPS:
+                    continue
+            elif target != op:
+                continue
+            entry["remaining"] = remaining - 1
+            if remaining - 1 == 0:
+                return str(entry["phase"])
+        return None
+
+    def crash(self) -> None:
+        """Simulate power loss: only durable names and bytes survive."""
+        survivors = {
+            path: _File(f.durable, f.durable) for path, f in self._durable.items()
+        }
+        self._live = dict(survivors)
+        self._durable = dict(survivors)
+        self.crashes += 1
+
+    def _crash_now(self, why: str) -> None:
+        self.crash()
+        raise SimulatedCrash(why)
+
+    # -- corruption knobs ------------------------------------------------------
+
+    def flip_byte(self, path, offset: int, xor: int = 0xFF) -> None:
+        """Corrupt one byte of ``path`` in both live and durable content."""
+        f = self._live[os.fspath(path)]
+        f.live[offset] ^= xor
+        if offset < len(f.durable):
+            durable = bytearray(f.durable)
+            durable[offset] ^= xor
+            f.durable = bytes(durable)
+
+    def truncate_durable(self, path, size: int) -> None:
+        """Tear ``path`` down to ``size`` bytes, live and durable alike."""
+        f = self._live[os.fspath(path)]
+        del f.live[size:]
+        f.durable = f.durable[:size]
+
+    # -- handles ---------------------------------------------------------------
+
+    def open_append(self, path) -> _Handle:
+        p = os.fspath(path)
+        f = self._live.get(p)
+        if f is None:
+            f = self._live[p] = _File()
+        return _Handle(p, f)
+
+    def open_write(self, path) -> _Handle:
+        p = os.fspath(path)
+        f = _File()
+        self._live[p] = f
+        return _Handle(p, f)
+
+    def write(self, handle: _Handle, data: bytes) -> int:
+        phase = self._tick("write")
+        if phase == "before":
+            self._crash_now("crash before write")
+        if phase == "mid":
+            # The unlucky case: the kernel flushed the half-written page on
+            # its own before power loss — a torn record reaches the platter.
+            handle.file.live.extend(bytes(data[: max(1, len(data) // 2)]))
+            handle.file.durable = bytes(handle.file.live)
+            self._crash_now("crash mid-write (torn)")
+        handle.file.live.extend(data)
+        if phase == "after":
+            self._crash_now("crash after write")
+        return len(data)
+
+    def flush(self, handle: _Handle) -> None:
+        pass  # live bytes already model the page cache
+
+    def fsync(self, handle: _Handle) -> None:
+        phase = self._tick("fsync")
+        if phase == "before":
+            self._crash_now("crash before fsync")
+        if not self.drop_fsyncs:
+            handle.file.durable = bytes(handle.file.live)
+        if phase == "after":
+            self._crash_now("crash after fsync")
+
+    def truncate(self, handle: _Handle, size: int) -> None:
+        phase = self._tick("truncate")
+        if phase == "before":
+            self._crash_now("crash before truncate")
+        del handle.file.live[size:]
+        if phase == "after":
+            self._crash_now("crash after truncate")
+
+    def close(self, handle: _Handle) -> None:
+        handle.closed = True
+
+    # -- namespace -------------------------------------------------------------
+
+    def replace(self, src, dst) -> None:
+        phase = self._tick("replace")
+        if phase == "before":
+            self._crash_now("crash before rename")
+        s, d = os.fspath(src), os.fspath(dst)
+        if s not in self._live:
+            raise FileNotFoundError(s)
+        self._live[d] = self._live.pop(s)
+        # The rename is volatile until the parent directory is fsynced.
+        if phase == "after":
+            self._crash_now("crash after rename (before dir fsync)")
+
+    def fsync_dir(self, path) -> None:
+        phase = self._tick("fsync_dir")
+        if phase == "before":
+            self._crash_now("crash before dir fsync")
+        if not self.drop_fsyncs:
+            parent = os.fspath(path)
+            kept = {
+                p: f
+                for p, f in self._durable.items()
+                if os.path.dirname(p) != parent
+            }
+            for p, f in self._live.items():
+                if os.path.dirname(p) == parent:
+                    kept[p] = f
+            self._durable = kept
+        if phase == "after":
+            self._crash_now("crash after dir fsync")
+
+    def makedirs(self, path) -> None:
+        self._dirs.add(os.fspath(path))
+
+    def remove(self, path) -> None:
+        p = os.fspath(path)
+        if p not in self._live:
+            raise FileNotFoundError(p)
+        del self._live[p]
+
+    # -- reads -----------------------------------------------------------------
+
+    def exists(self, path) -> bool:
+        p = os.fspath(path)
+        return p in self._live or p in self._dirs
+
+    def read_bytes(self, path) -> bytes:
+        p = os.fspath(path)
+        if p not in self._live:
+            raise FileNotFoundError(p)
+        return bytes(self._live[p].live)
+
+    def file_size(self, path) -> int:
+        p = os.fspath(path)
+        if p not in self._live:
+            raise FileNotFoundError(p)
+        return len(self._live[p].live)
+
+    def listdir(self, path) -> List[str]:
+        parent = os.fspath(path)
+        return sorted(
+            os.path.basename(p)
+            for p in self._live
+            if os.path.dirname(p) == parent
+        )
+
+    # -- inspection helpers ----------------------------------------------------
+
+    def durable_names(self) -> List[str]:
+        return sorted(self._durable)
+
+    def live_names(self) -> List[str]:
+        return sorted(self._live)

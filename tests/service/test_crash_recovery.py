@@ -1,0 +1,316 @@
+"""Crash/fault-injection harness: kill, recover, and demand step-identity.
+
+The contract (ISSUE 9 acceptance): crash the durable engine at any
+barrier — before an fsync, mid-record, after the snapshot rename but
+before the WAL truncation, mid-checkpoint-rename — then recover, finish
+the workload, and the recommendations, totWork, work functions, and
+materialized set must be identical to the uninterrupted run. With
+``fsync_interval_ms == 0`` every acknowledged operation is durable
+before control returns, so the recovered engine must sit at *exactly*
+the acknowledged prefix of the event sequence: nothing acknowledged is
+ever lost, nothing unacknowledged is half-applied.
+
+All filesystem state lives in a :class:`faults.FaultyIO`; a crash
+reverts it to exactly what fsyncs pinned, which is what a real power
+loss could leave behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from faults import FaultyIO, SimulatedCrash
+from test_checkpoint_property import SALES, TOL, _toy_statements
+from repro.db import Index, StatsTransitionCosts
+from repro.optimizer import WhatIfOptimizer
+from repro.service import TuningEngine
+from repro.service.wal import Durability, read_wal
+
+OPTIONS = dict(idx_cnt=6, state_cnt=32, hist_size=10)
+DIR = "/dur"
+
+
+def _fresh_engine(stats) -> TuningEngine:
+    return TuningEngine(
+        WhatIfOptimizer(stats), StatsTransitionCosts(stats), **OPTIONS
+    )
+
+
+def _events(stats):
+    """The toy workload as an explicit event sequence: statements plus a
+    DBA vote and an explicit materialization, so WAL replay covers every
+    record kind at a pinned statement position."""
+    statements = _toy_statements(stats)
+    votes = (
+        frozenset({Index(SALES, ("amount",))}),
+        frozenset({Index(SALES, ("product_id",))}),
+    )
+    events = []
+    for i, statement in enumerate(statements, start=1):
+        events.append(("stmt", statement))
+        if i == 3:
+            events.append(("vote", votes[0], votes[1]))
+        if i == 6:
+            events.append(("create", Index(SALES, ("sale_date",))))
+    return events
+
+
+def _apply_event(engine: TuningEngine, event) -> None:
+    kind = event[0]
+    if kind == "stmt":
+        engine.submit("client", event[1])
+        engine.pump()
+    elif kind == "vote":
+        engine.vote("client", event[1], event[2])
+    elif kind == "create":
+        engine.create_index("client", event[1])
+    else:  # pragma: no cover - defensive
+        raise AssertionError(f"unknown event {kind!r}")
+
+
+def _signature(engine: TuningEngine):
+    """Everything that must survive a crash, exactly."""
+    return {
+        "statements": engine.statements_processed,
+        "total_work": engine.total_work,
+        "recommendation": engine.tuner.recommend(),
+        "materialized": engine.materialized,
+        "work": [
+            (instance.indices, instance.work_function())
+            for instance in engine.tuner._instances
+        ],
+    }
+
+
+def _assert_signatures_equal(ours, theirs, label):
+    assert ours["statements"] == theirs["statements"], label
+    assert ours["recommendation"] == theirs["recommendation"], label
+    assert ours["materialized"] == theirs["materialized"], label
+    assert ours["total_work"] == pytest.approx(
+        theirs["total_work"], abs=TOL
+    ), label
+    assert [i for i, _ in ours["work"]] == [i for i, _ in theirs["work"]], label
+    for (_, mine), (_, other) in zip(ours["work"], theirs["work"]):
+        assert set(mine) == set(other), label
+        for config, value in other.items():
+            assert mine[config] == pytest.approx(value, abs=TOL), (
+                f"{label}: work function diverged at {config}"
+            )
+
+
+@pytest.fixture(scope="module")
+def reference(toy_stats):
+    """The uninterrupted run: state signature after every event prefix."""
+    events = _events(toy_stats)
+    engine = _fresh_engine(toy_stats)
+    signatures = [_signature(engine)]
+    for event in events:
+        _apply_event(engine, event)
+        signatures.append(_signature(engine))
+    return {"events": events, "signatures": signatures}
+
+
+def _durable_run(stats, events, io, *, checkpoint_every=3, full_every=2):
+    """Drive ``events`` against a WAL-attached engine, checkpointing every
+    ``checkpoint_every`` statements. Returns the number of events that
+    were *acknowledged* (their engine call returned) before the scheduled
+    crash fired — or ``len(events)`` when no fault triggered."""
+    engine = _fresh_engine(stats)
+    durability = Durability(
+        DIR, io=io, fsync_interval_ms=0, full_every=full_every
+    )
+    acked = 0
+    try:
+        durability.attach(engine)
+        statements = 0
+        for event in events:
+            _apply_event(engine, event)
+            acked += 1
+            if event[0] == "stmt":
+                statements += 1
+                if statements % checkpoint_every == 0:
+                    durability.checkpoint()
+        durability.close()
+    except SimulatedCrash:
+        pass
+    return acked
+
+
+def _recover(stats, io):
+    return TuningEngine.recover(
+        DIR,
+        WhatIfOptimizer(stats),
+        StatsTransitionCosts(stats),
+        io=io,
+        engine_options=OPTIONS,
+    )
+
+
+def _recover_and_verify(stats, reference, io, acked, *, expect_extra=0):
+    """Recover, check the engine sits at the acknowledged prefix (plus any
+    known-durable-but-unacknowledged suffix), finish the workload, and
+    demand the final state match the uninterrupted run exactly."""
+    events = reference["events"]
+    engine, report = _recover(stats, io)
+    engine.pump()
+    prefix = acked + expect_extra
+    _assert_signatures_equal(
+        _signature(engine),
+        reference["signatures"][prefix],
+        f"recovered state != reference prefix {prefix}",
+    )
+    for index, event in enumerate(events[prefix:], start=prefix):
+        _apply_event(engine, event)
+        _assert_signatures_equal(
+            _signature(engine),
+            reference["signatures"][index + 1],
+            f"post-recovery event {index} diverged",
+        )
+    return engine, report
+
+
+# ---------------------------------------------------------------------------
+# Named barriers
+# ---------------------------------------------------------------------------
+
+class TestKillAtBarriers:
+    def test_clean_run_is_step_identical(self, toy_stats, reference):
+        io = FaultyIO()
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked == len(reference["events"])
+        io.crash()  # even a clean shutdown must recover from durable state
+        engine, report = _recover_and_verify(
+            toy_stats, reference, io, acked
+        )
+        assert report["wal_torn_tail"] is False
+
+    def test_crash_before_wal_fsync_loses_only_unacknowledged(
+        self, toy_stats, reference
+    ):
+        io = FaultyIO()
+        io.schedule_crash(op="fsync", at=6, phase="before")
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked < len(reference["events"])
+        _recover_and_verify(toy_stats, reference, io, acked)
+
+    def test_crash_mid_record_leaves_tolerated_torn_tail(
+        self, toy_stats, reference
+    ):
+        io = FaultyIO()
+        io.schedule_crash(op="write", at=5, phase="mid")
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked < len(reference["events"])
+        engine, report = _recover_and_verify(toy_stats, reference, io, acked)
+        assert report["wal_torn_tail"] is True
+
+    def test_crash_after_fsync_before_ack_preserves_the_record(
+        self, toy_stats, reference
+    ):
+        """The dual invariant: a record that *did* reach the platter is
+        replayed even though the caller never saw the call return."""
+        io = FaultyIO()
+        io.schedule_crash(op="fsync", at=4, phase="after")
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked < len(reference["events"])
+        _recover_and_verify(
+            toy_stats, reference, io, acked, expect_extra=1
+        )
+
+    def test_crash_between_snapshot_publish_and_wal_truncate(
+        self, toy_stats, reference
+    ):
+        """The snapshot is durable but the WAL still holds every record it
+        covers: replay must skip them (sequence-number idempotence), not
+        double-apply."""
+        io = FaultyIO()
+        # Checkpoint op order: snapshot write/fsync/replace/fsync_dir, then
+        # WAL truncate+fsync. Crash before the first truncate = after the
+        # first snapshot published.
+        io.schedule_crash(op="truncate", at=1, phase="before")
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked < len(reference["events"])
+        wal_records = len(read_wal(f"{DIR}/wal.log", io=io).records)
+        assert wal_records > 0
+        engine, report = _recover_and_verify(toy_stats, reference, io, acked)
+        assert report["snapshot_id"] == 1
+        assert report["wal_covered"] == wal_records
+        assert report["wal_replayed"] == 0
+
+    def test_crash_mid_checkpoint_rename(self, toy_stats, reference):
+        """Power loss between the snapshot rename and the directory fsync:
+        the new snapshot never happened; recovery replays the full WAL."""
+        io = FaultyIO()
+        io.schedule_crash(op="replace", at=1, phase="after")
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked < len(reference["events"])
+        engine, report = _recover_and_verify(toy_stats, reference, io, acked)
+        assert report["snapshot_id"] is None  # no snapshot survived
+        assert report["wal_replayed"] > 0
+
+    def test_crash_before_checkpoint_tmp_write(self, toy_stats, reference):
+        io = FaultyIO()
+        # The 7th write is inside the first checkpoint's tmp-file publish
+        # (each of the first 3 statements and the vote writes one WAL
+        # record = writes 1-4... schedule relative to checkpoint instead).
+        io.schedule_crash(op="replace", at=1, phase="before")
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked < len(reference["events"])
+        _recover_and_verify(toy_stats, reference, io, acked)
+
+    def test_duplicate_replay_is_idempotent_across_double_crash(
+        self, toy_stats, reference
+    ):
+        """Crash during WAL truncation, recover, crash again without any
+        new checkpoint: covered records must be skipped both times."""
+        io = FaultyIO()
+        io.schedule_crash(op="truncate", at=1, phase="before")
+        acked = _durable_run(toy_stats, reference["events"], io)
+        engine, first_report = _recover(toy_stats, io)
+        assert first_report["wal_covered"] > 0
+        io.crash()  # recovery itself wrote nothing, so this is a no-op
+        _recover_and_verify(toy_stats, reference, io, acked)
+
+    def test_recovery_leaves_queue_unpumped(self, toy_stats, reference):
+        """Recovery restores state; it does not advance it."""
+        io = FaultyIO()
+        io.schedule_crash(op="fsync", at=9, phase="before")
+        _durable_run(toy_stats, reference["events"], io)
+        engine, report = _recover(toy_stats, io)
+        assert report["queue_depth"] == engine.queue_depth
+        if report["wal_replayed"] > 0:
+            assert engine.queue_depth > 0
+
+
+# ---------------------------------------------------------------------------
+# Random kill points (hypothesis)
+# ---------------------------------------------------------------------------
+
+class TestRandomKillPoints:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kill_op=st.integers(min_value=1, max_value=60),
+        phase=st.sampled_from(["before", "mid"]),
+        checkpoint_every=st.sampled_from([2, 3, 5]),
+    )
+    def test_recovery_is_step_identical_for_any_kill_point(
+        self, toy_stats, reference, kill_op, phase, checkpoint_every
+    ):
+        """Crash at the N-th mutating IO op (or mid-way through the N-th
+        write), recover, finish the workload: always step-identical."""
+        io = FaultyIO()
+        if phase == "mid":
+            io.schedule_crash(op="write", at=kill_op, phase="mid")
+        else:
+            io.schedule_crash(op="*", at=kill_op, phase="before")
+        acked = _durable_run(
+            toy_stats,
+            reference["events"],
+            io,
+            checkpoint_every=checkpoint_every,
+        )
+        if io.crashes == 0:
+            # Kill point beyond the run's op count: a clean run. Still
+            # recover from durable state to close the loop.
+            io.crash()
+        _recover_and_verify(toy_stats, reference, io, acked)

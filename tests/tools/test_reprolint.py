@@ -250,12 +250,17 @@ def test_repo_suppression_budget():
 
 
 def test_deterministic_zones_declared():
-    # The zone map from ISSUE 8: core/, optimizer/, ibg/, service/snapshot.py.
+    # The zone map from ISSUE 8: core/, optimizer/, ibg/, service/snapshot.py
+    # — plus service/wal.py since ISSUE 9 (recovery replay must be
+    # deterministic for step-identity to hold).
     expected = (
         list((REPO_ROOT / "src/repro/core").glob("*.py"))
         + list((REPO_ROOT / "src/repro/optimizer").glob("*.py"))
         + list((REPO_ROOT / "src/repro/ibg").glob("*.py"))
-        + [REPO_ROOT / "src/repro/service/snapshot.py"]
+        + [
+            REPO_ROOT / "src/repro/service/snapshot.py",
+            REPO_ROOT / "src/repro/service/wal.py",
+        ]
     )
     for path in expected:
         ann = parse_annotations(path.read_text(encoding="utf-8"))
