@@ -582,6 +582,13 @@ class TuningEngine:
     ) -> FrozenSet[Index]:
         """Route explicit DBA votes from ``client_id`` to the shared core."""
         with self._pump_lock:
+            # Validate before logging: a WAL record for a vote the core
+            # then rejects would be replayed by every subsequent recovery
+            # and fail there the same way — one bad client call must not
+            # leave a durable poison pill (create/drop below follow the
+            # same check-then-log order).
+            if frozenset(f_plus) & frozenset(f_minus):
+                raise ValueError("F+ and F- must be disjoint")
             if self._wal is not None:
                 # The position pins the vote to the statement count it ran
                 # at: recovery pumps exactly that far before re-applying,

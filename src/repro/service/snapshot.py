@@ -125,10 +125,15 @@ def checkpoint_engine(
         # (a concurrent first-ever submit inserts into the table);
         # snapshot both before iterating. Per-client processed counts and
         # events only mutate under the pump lock we already hold. The WAL
-        # high-water mark is read in the same region as the queue: a
+        # checkpoint mark is captured in the same region as the queue: a
         # record is appended and its statement enqueued under one ingest-
         # lock acquisition, so ``wal_seq`` covers exactly the submissions
-        # the ``pending`` list (plus processed history) accounts for.
+        # the ``pending`` list (plus processed history) accounts for —
+        # and the mark's byte offset lets the later ``reset()`` rotate
+        # out only this prefix, so a submit landing between this capture
+        # and the rotation (its record has seq > wal_seq and sits past
+        # the marked offset) survives in the log instead of being
+        # truncated away unreplayed.
         with engine._ingest_lock:
             clients = sorted(engine._clients.items())
             pending = [
@@ -136,7 +141,7 @@ def checkpoint_engine(
                 for client_id, statement in engine._queue
             ]
             wal = engine._wal
-            wal_seq = wal.appended_seq if wal is not None else 0
+            wal_seq = wal.checkpoint_mark() if wal is not None else 0
         document: Dict[str, object] = {
             "version": SNAPSHOT_VERSION,
             "kind": "full",

@@ -10,20 +10,30 @@ about. The classic fix is the classic database one:
   ``materialize``) appends a record to an append-only log **before** the
   in-memory mutation, under the same lock acquisition, so log order
   equals effect order;
-* records are length-prefixed and CRC32-checksummed, so a torn final
-  record (the expected artifact of crashing mid-append) is detected and
-  tolerated, while mid-file corruption is detected and **refused**;
+* records are length-prefixed and CRC32-checksummed — the header's
+  length field carries its own CRC, so a torn final record (the expected
+  artifact of crashing mid-append) is detected and tolerated, while
+  mid-file corruption — including a damaged length field — is detected
+  and **refused**;
 * fsyncs are group-committed: with ``fsync_interval_ms > 0`` an append
   only pays for an fsync when the interval has elapsed, batching
   many records per flush (the durability point is the fsync — records
   appended after the last fsync may be lost on crash, which is the knob's
   explicit trade);
 * each successful checkpoint — published crash-atomically by
-  :func:`repro.ioutil.atomic_write_json` — records the highest appended
-  WAL sequence number it covers, then truncates the log. Monotone
+  :func:`repro.ioutil.atomic_write_json` — captures an atomic *mark*
+  (highest covered sequence number + the log length holding exactly the
+  records up to it) in the same ingest-lock region that snapshots the
+  pending queue, then **rotates** the log: a ``floor`` record naming the
+  covered sequence plus every record appended after the mark is written
+  to a temp file, fsynced, and renamed over the log. Records appended
+  concurrently between the mark and the rotation — fsync-acknowledged
+  mutations the snapshot does not cover — therefore survive. Monotone
   sequence numbers make replay idempotent: a crash *between* the
-  checkpoint rename and the truncation leaves covered records in the
-  log, and recovery skips every record with ``seq <= wal_seq``.
+  checkpoint rename and the rotation leaves covered records in the log,
+  and recovery skips every record with ``seq <= wal_seq``; the floor
+  record lets recovery detect (and refuse) a log whose covered prefix
+  was rotated away when the covering snapshot is itself unusable.
 
 Recovery (:meth:`Durability.recover`) loads the newest snapshot whose
 chain resolves (delta snapshots are overlaid onto their base — see
@@ -76,9 +86,14 @@ _monotonic = time.monotonic  # reprolint: disable=R1(group-commit pacing and fsy
 #: values batch appends per flush and bound the post-fsync loss window.
 WAL_FSYNC_ENV = "REPRO_WAL_FSYNC_MS"
 
-#: On-disk record framing: little-endian payload length + CRC32(payload),
-#: followed by the compact-JSON payload itself.
-_HEADER = struct.Struct("<II")
+#: On-disk record framing: little-endian payload length, CRC32 of the
+#: length field's own four bytes, CRC32(payload) — followed by the
+#: compact-JSON payload itself. The header CRC is what lets a scanner
+#: distinguish a *corrupted* length field (refused) from a genuinely
+#: torn final record (tolerated): once the length verifies, "fewer
+#: bytes than it promises" can only mean a tear.
+_HEADER = struct.Struct("<III")
+_LENGTH = struct.Struct("<I")
 
 _WAL_FILENAME = "wal.log"
 _SNAPSHOT_PREFIX = "snapshot-"
@@ -107,7 +122,7 @@ class WalRecord:
     """One decoded log record."""
 
     seq: int
-    kind: str            # "submit" | "submit_many" | "vote" | "materialize"
+    kind: str            # "submit" | "submit_many" | "vote" | "materialize" | "floor"
     payload: Dict[str, object]
     offset: int          # byte offset of the record header in the log
 
@@ -122,13 +137,15 @@ class WalScan:
 
 
 def encode_record(seq: int, kind: str, payload: Dict[str, object]) -> bytes:
-    """Frame one record: ``<length><crc32>`` header + compact JSON body."""
+    """Frame one record: ``<length><crc32(length)><crc32(body)>`` header
+    + compact JSON body."""
     body = json.dumps(
         {"seq": seq, "kind": kind, "data": payload},
         sort_keys=True,
         separators=(",", ":"),
     ).encode("utf-8")
-    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+    length = _LENGTH.pack(len(body))
+    return _HEADER.pack(len(body), zlib.crc32(length), zlib.crc32(body)) + body
 
 
 def scan_wal(data: bytes) -> WalScan:
@@ -145,7 +162,13 @@ def scan_wal(data: bytes) -> WalScan:
         remaining = total - offset
         if remaining < _HEADER.size:
             return WalScan(tuple(records), offset, True)
-        length, crc = _HEADER.unpack_from(data, offset)
+        length, header_crc, crc = _HEADER.unpack_from(data, offset)
+        # Verify the length field *before* trusting it: a corrupted
+        # length would otherwise make every subsequent valid record look
+        # like a torn tail — exactly the silent data loss this scanner
+        # exists to refuse.
+        if zlib.crc32(data[offset : offset + _LENGTH.size]) != header_crc:
+            raise CorruptRecord("WAL record header checksum mismatch", offset)
         if remaining - _HEADER.size < length:
             return WalScan(tuple(records), offset, True)
         body = data[offset + _HEADER.size : offset + _HEADER.size + length]
@@ -240,6 +263,15 @@ class WriteAheadLog:
             # prefix so new appends extend verified records, not garbage.
             self._io.truncate(self._handle, truncate_to)
             self._io.fsync(self._handle)
+            end_offset = truncate_to
+        else:
+            end_offset = self._io.file_size(self._path)
+        self._end_offset = end_offset  # guarded-by: _lock
+        # Checkpoint boundary captured by checkpoint_mark(): (seq, byte
+        # offset) of the prefix the in-flight snapshot covers. reset()
+        # rotates out exactly this prefix, so records appended after the
+        # mark survive.
+        self._mark: Optional[Tuple[int, int]] = None  # guarded-by: _lock
         self._next_seq = next_seq  # guarded-by: _lock
         self._appended_seq = next_seq - 1  # guarded-by: _lock
         self._synced_seq = next_seq - 1  # guarded-by: _lock
@@ -291,6 +323,7 @@ class WriteAheadLog:
             # fine — unflushed and unfsynced bytes are equally volatile,
             # and the durability contract only covers fsynced records.
             self._io.write(self._handle, record)
+            self._end_offset += len(record)
             self._next_seq = seq + 1
             self._appended_seq = seq
             self._records_appended += 1
@@ -325,18 +358,70 @@ class WriteAheadLog:
             if self._synced_seq < self._appended_seq or self._last_fsync_monotonic is None:
                 self._fsync_locked()
 
-    def reset(self) -> None:
-        """Truncate the log after a durably-published checkpoint.
+    def checkpoint_mark(self) -> int:
+        """Atomically capture the checkpoint boundary; returns its seq.
 
-        Sequence numbering continues where it left off, so records
-        appended after the reset are distinguishable from (and ordered
-        after) everything the checkpoint covered.
+        The mark is the pair (last appended sequence number, log length
+        holding exactly the records up to it). A later :meth:`reset`
+        rotates out only this marked prefix, so records appended
+        concurrently *after* the mark — acknowledged mutations the
+        in-flight snapshot does not cover — survive the rotation. The
+        caller must take the mark in the same critical section that
+        captures the state the snapshot serializes (the engine does so
+        under its ingest lock, see ``checkpoint_engine``); the returned
+        seq becomes the snapshot's ``wal_seq``.
         """
         with self._lock:
             if self._closed:
                 raise WalError("write-ahead log is closed")
-            self._io.truncate(self._handle, 0)
-            self._io.fsync(self._handle)
+            self._mark = (self._appended_seq, self._end_offset)
+            return self._appended_seq
+
+    def reset(self, note: Optional[Dict[str, object]] = None) -> None:
+        """Rotate out the checkpoint-covered prefix of the log.
+
+        The prefix is whatever :meth:`checkpoint_mark` captured (with no
+        mark outstanding: everything currently appended). Rotation is
+        crash-atomic: the survivors — a ``floor`` record naming the
+        covered sequence number (``note`` is stored in its payload for
+        diagnostics), plus every record appended after the mark — are
+        written to a temp file, fsynced, and renamed over the log, so a
+        crash at any instant leaves either the full old log (covered
+        records replay as a no-op via sequence numbers) or the new log,
+        whose floor record declares what was rotated away. Sequence
+        numbering continues where it left off, so records appended after
+        the reset are distinguishable from (and ordered after)
+        everything the checkpoint covered.
+        """
+        with self._lock:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            marked_seq, marked_offset = (
+                self._mark
+                if self._mark is not None
+                else (self._appended_seq, self._end_offset)
+            )
+            self._mark = None
+            tail = b""
+            if marked_offset < self._end_offset:
+                # Acknowledged records landed after the mark: carry them
+                # into the rotated log verbatim. Flush first — they may
+                # still sit in the append handle's user-space buffer.
+                self._io.flush(self._handle)
+                tail = self._io.read_bytes(self._path)[marked_offset:]
+            floor = encode_record(marked_seq, "floor", dict(note or {}))
+            tmp = self._path + ".rotate"
+            handle = self._io.open_write(tmp)
+            try:
+                self._io.write(handle, floor + tail)
+                self._io.fsync(handle)
+            finally:
+                self._io.close(handle)
+            self._io.close(self._handle)
+            self._io.replace(tmp, self._path)
+            self._io.fsync_dir(os.path.dirname(self._path) or ".")
+            self._handle = self._io.open_append(self._path)
+            self._end_offset = len(floor) + len(tail)
             self._synced_seq = self._appended_seq
 
     def close(self) -> None:
@@ -473,6 +558,12 @@ class Durability:
         if self._wal is not None:
             raise WalError("a WAL is already attached to this directory")
         path = self._wal_file()
+        # A crash between a rotation's temp-file write and its rename can
+        # leave the temp behind; it is dead weight (the rename never
+        # happened, so the real log is authoritative).
+        stale = path + ".rotate"
+        if self._io.exists(stale):
+            self._io.remove(stale)
         next_seq = 1
         truncate_to: Optional[int] = None
         if self._io.exists(path):
@@ -538,10 +629,12 @@ class Durability:
         Every ``full_every``-th checkpoint (and the first, and any with
         ``full=True``) is a full snapshot; the rest are deltas chained to
         the latest full one — they re-serialize only the parts whose work
-        functions changed since the base. The WAL is truncated only
-        *after* the snapshot rename is durable; a crash between the two
-        replays records the snapshot already covers, which sequence
-        numbers make a no-op.
+        functions changed since the base. The WAL is rotated only *after*
+        the snapshot rename is durable, and only up to the mark the
+        snapshot captured — records appended concurrently with the
+        publish survive the rotation. A crash between publish and
+        rotation replays records the snapshot already covers, which
+        sequence numbers make a no-op.
         """
         if self._engine is None or self._wal is None:
             raise WalError("no engine attached; call attach() first")
@@ -564,7 +657,7 @@ class Durability:
             self._deltas_since_full = 0
         else:
             self._deltas_since_full += 1
-        self._wal.reset()
+        self._wal.reset(note={"snapshot_id": snapshot_id})
         return path
 
     def close(self) -> None:
@@ -596,6 +689,15 @@ class Durability:
         :class:`CorruptRecord`. Statements replayed into the queue are
         left for the caller to pump — recovery restores state, it does
         not advance it.
+
+        Falling back past a newer-but-unusable checkpoint is refused
+        (:class:`repro.service.snapshot.BrokenChain`) whenever the WAL
+        provably does not cover the gap: the log's ``floor`` record (or
+        the first surviving sequence number, or a skipped snapshot's own
+        ``wal_seq``) shows mutations beyond the restored snapshot were
+        checkpointed and rotated away — replaying would silently diverge
+        from the acknowledged history, the one outcome durable ingest
+        exists to prevent.
         """
         from .engine import TuningEngine
         from .snapshot import SnapshotError, restore_engine
@@ -611,17 +713,30 @@ class Durability:
                     if snapshot_id is not None:
                         ids.append(snapshot_id)
             stored_kind = None
+            # Highest wal_seq declared by a skipped-but-parseable newer
+            # snapshot: evidence of how far the acknowledged history
+            # reached even when that snapshot cannot be restored.
+            skipped_wal_floor = 0
             for snapshot_id in sorted(ids, reverse=True):
                 path = os.path.join(directory, _snapshot_filename(snapshot_id))
                 try:
-                    candidate = _load_document(path, io)
-                    kind = candidate.get("kind", "full")
-                    candidate = Durability._resolve_document(candidate, directory, io)
+                    raw = _load_document(path, io)
+                except SnapshotError as exc:
+                    skipped_snapshots.append(
+                        {"snapshot_id": snapshot_id, "error": str(exc)}
+                    )
+                    continue
+                try:
+                    kind = raw.get("kind", "full")
+                    candidate = Durability._resolve_document(raw, directory, io)
                     engine = restore_engine(candidate, optimizer, transitions)
                 except SnapshotError as exc:
                     skipped_snapshots.append(
                         {"snapshot_id": snapshot_id, "error": str(exc)}
                     )
+                    raw_seq = raw.get("wal_seq", 0)
+                    if isinstance(raw_seq, int):
+                        skipped_wal_floor = max(skipped_wal_floor, raw_seq)
                     continue
                 document = candidate
                 stored_kind = kind
@@ -638,10 +753,11 @@ class Durability:
                 scan = read_wal(wal_path, io=io)
                 records = scan.records
                 torn = scan.torn
+            Durability._refuse_gaps(records, wal_floor, skipped_wal_floor)
             replayed = 0
             covered = 0
             for record in records:
-                if record.seq <= wal_floor:
+                if record.kind == "floor" or record.seq <= wal_floor:
                     covered += 1
                     continue
                 Durability._apply_record(engine, record)
@@ -659,6 +775,63 @@ class Durability:
                 "queue_depth": engine.queue_depth,
             }
         return engine, report
+
+    @staticmethod
+    def _refuse_gaps(
+        records: Tuple[WalRecord, ...], wal_floor: int, skipped_wal_floor: int
+    ) -> None:
+        """Refuse recovery that would silently drop acknowledged mutations.
+
+        ``wal_floor`` is what the restored snapshot covers; anything
+        beyond it must come out of the WAL. Three independent witnesses
+        prove a hole: the log's ``floor`` record declares a higher
+        rotated-away prefix than the snapshot covers; the surviving
+        records do not form a contiguous ``wal_floor + 1, ...`` run; or a
+        skipped newer snapshot's own ``wal_seq`` reaches past everything
+        recoverable. Each means mutations between the restored snapshot
+        and a later durably-published checkpoint were truncated on the
+        strength of a snapshot that can no longer be restored.
+        """
+        from .snapshot import BrokenChain
+
+        problems: List[str] = []
+        max_floor = max(
+            (r.seq for r in records if r.kind == "floor"), default=0
+        )
+        if max_floor > wal_floor:
+            problems.append(
+                f"the log's floor record says sequences <= {max_floor} were "
+                f"rotated away at a checkpoint, but the restored snapshot "
+                f"covers only sequences <= {wal_floor}"
+            )
+        fresh = [
+            r for r in records if r.kind != "floor" and r.seq > wal_floor
+        ]
+        if fresh and fresh[0].seq != wal_floor + 1:
+            problems.append(
+                f"replay should resume at sequence {wal_floor + 1} but the "
+                f"first surviving record is sequence {fresh[0].seq}"
+            )
+        for prev, nxt in zip(fresh, fresh[1:]):
+            if nxt.seq != prev.seq + 1:
+                problems.append(
+                    f"the log jumps from sequence {prev.seq} to {nxt.seq}"
+                )
+                break
+        highest = max(
+            [wal_floor, max_floor] + [r.seq for r in records]
+        )
+        if skipped_wal_floor > highest:
+            problems.append(
+                f"a newer (skipped) snapshot covered WAL sequences <= "
+                f"{skipped_wal_floor}, beyond everything recoverable "
+                f"(<= {highest})"
+            )
+        if problems:
+            raise BrokenChain(
+                "refusing recovery — acknowledged mutations are missing "
+                "from the snapshot chain and WAL: " + "; ".join(problems)
+            )
 
     @staticmethod
     def _resolve_document(document: Dict[str, object], directory: str, io: FileIO):

@@ -23,8 +23,10 @@ from hypothesis import given, settings, strategies as st
 from faults import FaultyIO, SimulatedCrash
 from test_checkpoint_property import SALES, TOL, _toy_statements
 from repro.db import Index, StatsTransitionCosts
+from repro.ioutil import atomic_write_json
 from repro.optimizer import WhatIfOptimizer
 from repro.service import TuningEngine
+from repro.service.snapshot import SNAPSHOT_VERSION, BrokenChain
 from repro.service.wal import Durability, read_wal
 
 OPTIONS = dict(idx_cnt=6, state_cnt=32, hist_size=10)
@@ -198,7 +200,10 @@ class TestKillAtBarriers:
         self, toy_stats, reference
     ):
         io = FaultyIO()
-        io.schedule_crash(op="write", at=5, phase="mid")
+        # Writes 1-3 are the first three statements' records, write 4 the
+        # snapshot temp file, write 5 the rotation temp file; write 6 is
+        # the vote's WAL record — tear that one.
+        io.schedule_crash(op="write", at=6, phase="mid")
         acked = _durable_run(toy_stats, reference["events"], io)
         assert acked < len(reference["events"])
         engine, report = _recover_and_verify(toy_stats, reference, io, acked)
@@ -225,9 +230,10 @@ class TestKillAtBarriers:
         double-apply."""
         io = FaultyIO()
         # Checkpoint op order: snapshot write/fsync/replace/fsync_dir, then
-        # WAL truncate+fsync. Crash before the first truncate = after the
-        # first snapshot published.
-        io.schedule_crash(op="truncate", at=1, phase="before")
+        # the WAL rotation's own write/fsync/replace/fsync_dir. Replace #1
+        # publishes the snapshot; replace #2 swaps in the rotated WAL.
+        # Crash before replace #2 = snapshot durable, old WAL intact.
+        io.schedule_crash(op="replace", at=2, phase="before")
         acked = _durable_run(toy_stats, reference["events"], io)
         assert acked < len(reference["events"])
         wal_records = len(read_wal(f"{DIR}/wal.log", io=io).records)
@@ -261,10 +267,10 @@ class TestKillAtBarriers:
     def test_duplicate_replay_is_idempotent_across_double_crash(
         self, toy_stats, reference
     ):
-        """Crash during WAL truncation, recover, crash again without any
+        """Crash during WAL rotation, recover, crash again without any
         new checkpoint: covered records must be skipped both times."""
         io = FaultyIO()
-        io.schedule_crash(op="truncate", at=1, phase="before")
+        io.schedule_crash(op="replace", at=2, phase="before")
         acked = _durable_run(toy_stats, reference["events"], io)
         engine, first_report = _recover(toy_stats, io)
         assert first_report["wal_covered"] > 0
@@ -280,6 +286,137 @@ class TestKillAtBarriers:
         assert report["queue_depth"] == engine.queue_depth
         if report["wal_replayed"] > 0:
             assert engine.queue_depth > 0
+
+
+# ---------------------------------------------------------------------------
+# Rotation races, poisoned records, chain gaps
+# ---------------------------------------------------------------------------
+
+class TestRotationAndChainSafety:
+    def test_submit_racing_checkpoint_survives_rotation(
+        self, toy_stats, reference
+    ):
+        """A submit acknowledged between the checkpoint's mark capture and
+        the WAL rotation sits past the marked prefix; the rotation must
+        carry its record into the fresh log, not destroy it."""
+        io = FaultyIO()
+        events = reference["events"]
+        engine = _fresh_engine(toy_stats)
+        durability = Durability(DIR, io=io, fsync_interval_ms=0)
+        durability.attach(engine)
+        for event in events[:2]:
+            _apply_event(engine, event)
+        racer = events[2][1]
+        original = engine.checkpoint
+
+        def checkpoint_then_race(*args, **kwargs):
+            document = original(*args, **kwargs)
+            # The mark was captured inside the call above; this submit is
+            # acknowledged (written and fsynced) before the snapshot
+            # publish and WAL rotation run.
+            engine.submit("client", racer)
+            return document
+
+        engine.checkpoint = checkpoint_then_race
+        durability.checkpoint()
+        io.crash()
+        recovered, report = _recover(toy_stats, io)
+        assert report["wal_replayed"] == 1
+        recovered.pump()
+        _assert_signatures_equal(
+            _signature(recovered),
+            reference["signatures"][3],
+            "submit acknowledged during checkpoint was lost by rotation",
+        )
+
+    def test_crash_mid_wal_rotation_rename(self, toy_stats, reference):
+        """Power loss after the rotated log's rename but before the
+        directory fsync: the old full log is the durable one, and its
+        covered records replay as no-ops against the published snapshot."""
+        io = FaultyIO()
+        io.schedule_crash(op="replace", at=2, phase="after")
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked < len(reference["events"])
+        engine, report = _recover_and_verify(toy_stats, reference, io, acked)
+        assert report["snapshot_id"] == 1
+        assert report["wal_covered"] > 0
+        assert report["wal_replayed"] == 0
+
+    def test_invalid_vote_is_rejected_before_it_is_logged(
+        self, toy_stats, reference
+    ):
+        """An overlapping F+/F- vote must fail *before* its WAL record is
+        written: a durable record that :meth:`WFIT.feedback` rejects would
+        permanently poison every future recovery replay."""
+        io = FaultyIO()
+        engine = _fresh_engine(toy_stats)
+        durability = Durability(DIR, io=io, fsync_interval_ms=0)
+        durability.attach(engine)
+        for event in reference["events"][:3]:
+            _apply_event(engine, event)
+        overlap = frozenset({Index(SALES, ("amount",))})
+        with pytest.raises(ValueError):
+            engine.vote("client", overlap, overlap)
+        durability.close()
+        kinds = [r.kind for r in read_wal(f"{DIR}/wal.log", io=io).records]
+        assert "vote" not in kinds
+        io.crash()
+        recovered, report = _recover(toy_stats, io)
+        assert report["wal_replayed"] == 3
+        recovered.pump()
+        _assert_signatures_equal(
+            _signature(recovered),
+            reference["signatures"][3],
+            "rejected vote poisoned recovery",
+        )
+
+    def test_fallback_past_newer_checkpoint_refuses(
+        self, toy_stats, reference
+    ):
+        """When the newest snapshot is unreadable, falling back to an
+        older one cannot silently succeed: the WAL was rotated at the
+        newest checkpoint, so the mutations between the two snapshots are
+        gone. The rotated log's floor record is the witness."""
+        io = FaultyIO()
+        acked = _durable_run(toy_stats, reference["events"], io)
+        assert acked == len(reference["events"])
+        io.crash()
+        newest = max(
+            name for name in io.listdir(DIR) if name.startswith("snapshot-")
+        )
+        io.flip_byte(f"{DIR}/{newest}", 0)
+        with pytest.raises(BrokenChain, match="refusing recovery"):
+            _recover(toy_stats, io)
+
+    def test_skipped_snapshot_wal_seq_is_a_gap_witness(
+        self, toy_stats, reference
+    ):
+        """Even with no floor record to testify (the WAL vanished), a
+        newer-but-unrestorable snapshot's own wal_seq proves acknowledged
+        history reached past everything recoverable."""
+        io = FaultyIO()
+        engine = _fresh_engine(toy_stats)
+        durability = Durability(DIR, io=io, fsync_interval_ms=0)
+        durability.attach(engine)
+        for event in reference["events"][:3]:
+            _apply_event(engine, event)
+        durability.checkpoint()
+        durability.close()
+        # A later checkpoint whose base is gone: parseable, unrestorable.
+        atomic_write_json(
+            f"{DIR}/snapshot-000002.json",
+            {
+                "version": SNAPSHOT_VERSION,
+                "kind": "delta",
+                "snapshot_id": 2,
+                "base_id": 999,
+                "wal_seq": 50,
+            },
+            io=io,
+        )
+        io.remove(f"{DIR}/wal.log")
+        with pytest.raises(BrokenChain, match="skipped"):
+            _recover(toy_stats, io)
 
 
 # ---------------------------------------------------------------------------

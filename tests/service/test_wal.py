@@ -29,7 +29,16 @@ from repro.service.wal import (
     scan_wal,
 )
 
-_HEADER = struct.Struct("<II")
+_HEADER = struct.Struct("<III")
+_LENGTH = struct.Struct("<I")
+
+
+def _frame(body: bytes) -> bytes:
+    """Hand-frame a record body with the on-disk header layout."""
+    length = _LENGTH.pack(len(body))
+    return (
+        _HEADER.pack(len(body), zlib.crc32(length), zlib.crc32(body)) + body
+    )
 
 
 class _StubEngine:
@@ -91,16 +100,42 @@ class TestScan:
         assert info.value.offset == len(first)
         assert f"byte offset {len(first)}" in str(info.value)
 
+    def test_corrupt_length_field_refused_not_healed(self):
+        """A damaged length field mid-file must be refused as corruption.
+
+        Without a header checksum, a corrupted length makes the scanner
+        believe the remaining bytes form one giant torn record — and
+        attach/recovery would then 'heal' every subsequent valid record
+        away, silently losing acknowledged data.
+        """
+        first = encode_record(1, "submit", {"a": 1})
+        data = first + _records({"b": 2}, {"c": 3}, start_seq=2)
+        corrupt = bytearray(data)
+        # Blow up record 2's length field to dwarf the remaining bytes.
+        corrupt[len(first) : len(first) + _LENGTH.size] = _LENGTH.pack(
+            2**30
+        )
+        with pytest.raises(CorruptRecord) as info:
+            scan_wal(bytes(corrupt))
+        assert info.value.offset == len(first)
+        assert "header" in str(info.value)
+
+    def test_single_bit_flip_in_length_refused(self):
+        first = encode_record(1, "submit", {"a": 1})
+        data = bytearray(first + _records({"b": 2}, {"c": 3}, start_seq=2))
+        data[len(first)] ^= 0x01
+        with pytest.raises(CorruptRecord) as info:
+            scan_wal(bytes(data))
+        assert info.value.offset == len(first)
+
     def test_valid_crc_but_bad_json_refused(self):
-        body = b"not-json"
-        framed = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        framed = _frame(b"not-json")
         with pytest.raises(CorruptRecord) as info:
             scan_wal(_records({"a": 1}) + framed)
         assert info.value.offset == len(_records({"a": 1}))
 
     def test_record_missing_seq_refused(self):
-        body = json.dumps({"kind": "submit"}).encode()
-        framed = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        framed = _frame(json.dumps({"kind": "submit"}).encode())
         with pytest.raises(CorruptRecord):
             scan_wal(framed)
 
@@ -125,7 +160,7 @@ class TestWriteAheadLog:
         ]
         assert not scan.torn
 
-    def test_reset_truncates_but_seq_continues(self, tmp_path):
+    def test_reset_rotates_but_seq_continues(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "wal.log")
         wal.append("submit", {"n": 1})
         wal.append("submit", {"n": 2})
@@ -133,7 +168,45 @@ class TestWriteAheadLog:
         assert wal.append("submit", {"n": 3}) == 3
         wal.close()
         scan = read_wal(tmp_path / "wal.log")
-        assert [(r.seq, r.payload) for r in scan.records] == [(3, {"n": 3})]
+        # The rotated log opens with a floor record naming the covered
+        # prefix, then continues with post-reset records.
+        assert [(r.seq, r.kind) for r in scan.records] == [
+            (2, "floor"),
+            (3, "submit"),
+        ]
+
+    def test_reset_preserves_records_appended_after_the_mark(self, tmp_path):
+        """The checkpoint race: a record acknowledged between the
+        snapshot's state capture (the mark) and the rotation must survive
+        — it is covered by neither the snapshot nor, with a naive
+        truncate-everything reset, the log."""
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append("submit", {"n": 1})
+        wal.append("submit", {"n": 2})
+        assert wal.checkpoint_mark() == 2
+        wal.append("submit", {"n": 3})  # lands after the mark
+        wal.reset(note={"snapshot_id": 7})
+        wal.close()
+        scan = read_wal(tmp_path / "wal.log")
+        assert [(r.seq, r.kind) for r in scan.records] == [
+            (2, "floor"),
+            (3, "submit"),
+        ]
+        assert scan.records[0].payload == {"snapshot_id": 7}
+        assert scan.records[1].payload == {"n": 3}
+
+    def test_reopen_after_rotation_continues_seq(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append("submit", {"n": 1})
+        wal.checkpoint_mark()
+        wal.reset()
+        wal.close()
+        scan = read_wal(tmp_path / "wal.log")
+        reopened = WriteAheadLog(
+            tmp_path / "wal.log", next_seq=scan.records[-1].seq + 1
+        )
+        assert reopened.append("submit", {"n": 2}) == 2
+        reopened.close()
 
     def test_reopen_continues_after_last_record(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "wal.log")
