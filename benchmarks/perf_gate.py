@@ -40,6 +40,14 @@ durable run's recommendations/totWork must be identical
 to the non-durable run's (a divergence FAILs: logging must never perturb
 tuning).
 
+With ``--priority-flood`` (requires ``--service-current``) the gate also
+checks the service payload's priority-flood section: the interactive
+session's p95 submit→analyzed latency with a background flood queued
+must stay ≤1.25× of its no-flood baseline (full runs FAIL above that,
+quick measurements WARN), and two machine-independent invariants always
+gate — the interactive stream must finish while flood backlog remains,
+and admission control must not reject a flood sized within its limit.
+
 With ``--obs-overhead`` the gate compares two fresh quick runs of the
 same checkout — one with telemetry enabled (the default), one with
 ``REPRO_OBS=0`` — row by row against each other and against the pinned
@@ -236,6 +244,58 @@ def compare_wal(payload):
                f"(≥ {WAL_OVERHEAD_WARN:.2f}x)")
 
 
+#: --priority-flood threshold: with a background flood queued, the
+#: interactive session's p95 submit→analyzed latency may be at most this
+#: multiple of its no-flood baseline (same machine, same run — paired
+#: rounds). The constant lives here, not in the bench JSON, so a bench
+#: edit cannot quietly relax the gate.
+PRIORITY_FLOOD_FACTOR = 1.25
+
+
+def compare_flood(payload):
+    """Gate checks for a bench_service JSON's priority-flood section."""
+    flood = payload.get("priority_flood")
+    if flood is None:
+        yield ("WARN", "service run has no priority_flood section (run "
+               "bench_service.py without --no-flood); not gated")
+        return
+    # Machine-independent scheduling invariants gate every measurement:
+    # the interactive trickle must finish while flood backlog remains
+    # (foreground never queues behind background), and a flood sized
+    # within the class limit must never be rejected.
+    if not flood.get("foreground_first", False):
+        yield ("FAIL", "priority flood: background backlog fully drained "
+               "before the interactive stream finished (priority "
+               "scheduling broken, not perf)")
+    else:
+        yield ("ok", f"priority flood: interactive stream finished with "
+               f"{flood.get('flood_remaining_at_fg_done')} background "
+               f"statements still queued")
+    if flood.get("backpressure_rejections", 0):
+        yield ("FAIL", "priority flood: admission control rejected "
+               "submissions sized within the queue limit")
+    ratio = flood.get("ratio")
+    if ratio is None:
+        yield ("WARN", "priority flood: no latency ratio recorded; "
+               "not gated")
+        return
+    detail = (f"interactive p95 at {ratio:.3f}x of its no-flood baseline "
+              f"({flood.get('flood_count')} background statements queued)")
+    if ratio > PRIORITY_FLOOD_FACTOR:
+        if payload.get("quick", False):
+            # Same convention as the WAL floor: quick measurements are too
+            # short to hold a latency ratio steady on a noisy runner.
+            yield ("WARN", f"priority flood: {detail}; above the "
+                   f"{PRIORITY_FLOOD_FACTOR:.2f}x ceiling but this is a "
+                   f"--quick measurement (not gated; rerun the full bench)")
+            return
+        yield ("FAIL", f"priority flood: {detail}; ceiling "
+               f"{PRIORITY_FLOOD_FACTOR:.2f}x")
+    else:
+        yield ("ok", f"priority flood: {detail} "
+               f"(≤ {PRIORITY_FLOOD_FACTOR:.2f}x)")
+
+
 #: --obs-overhead thresholds: the REPRO_OBS=0 run may lose at most this
 #: fraction of seed-relative throughput vs the pinned baseline (FAIL), and
 #: the enabled run at most this fraction of the disabled run's raw st/s
@@ -317,6 +377,11 @@ def main(argv=None) -> int:
                         help="also gate the --service-current payload's "
                         "WAL-overhead section (durable ingest ≥ "
                         f"{WAL_OVERHEAD_FAIL}x of non-durable throughput)")
+    parser.add_argument("--priority-flood", action="store_true",
+                        help="also gate the --service-current payload's "
+                        "priority-flood section (interactive p95 ≤ "
+                        f"{PRIORITY_FLOOD_FACTOR}x of its no-flood "
+                        "baseline, foreground never starved)")
     parser.add_argument("--obs-overhead", action="store_true",
                         help="gate telemetry overhead: requires "
                         "--obs-disabled and --obs-enabled quick payloads")
@@ -337,6 +402,8 @@ def main(argv=None) -> int:
                      "two payloads)")
     if args.wal_overhead and args.service_current is None:
         parser.error("--wal-overhead requires --service-current")
+    if args.priority_flood and args.service_current is None:
+        parser.error("--priority-flood requires --service-current")
 
     baseline = json.loads(args.baseline.read_text())
     failures = 0
@@ -363,6 +430,11 @@ def main(argv=None) -> int:
                 failures += 1
         if args.wal_overhead:
             for level, message in compare_wal(service):
+                print(f"{level}: {message}")
+                if level == "FAIL":
+                    failures += 1
+        if args.priority_flood:
+            for level, message in compare_flood(service):
                 print(f"{level}: {message}")
                 if level == "FAIL":
                     failures += 1

@@ -7,6 +7,7 @@ from .figures import (
     figure9_feedback,
     figure10_feedback_independent,
     figure11_lag,
+    figure11_lag_engine,
     figure12_auto,
     overhead_table,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "bench_parameters",
     "figure10_feedback_independent",
     "figure11_lag",
+    "figure11_lag_engine",
     "figure12_auto",
     "figure8_baseline",
     "figure9_feedback",

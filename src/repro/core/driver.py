@@ -39,13 +39,25 @@ __all__ = ["TuningPoint", "TuningResult", "run_online"]
 
 @dataclass(frozen=True)
 class TuningPoint:
-    """Per-statement accounting record."""
+    """Per-statement accounting record.
+
+    ``cumulative_total_work`` is the *realized* series: costs under the
+    configurations actually in effect given the run's DBA model. The
+    ``recommended_*`` fields (populated when ``run_online`` is called
+    with ``track_recommended=True``, 0.0 otherwise) account the same
+    statement under the algorithm's *instantaneous* recommendation —
+    immediate adoption, the autonomous-WFIT series — so the gap between
+    the two cumulatives prices the DBA's adoption lag (Figure 11).
+    """
 
     position: int
     configuration: FrozenSet[Index]
     query_cost: float
     transition_cost: float
     cumulative_total_work: float
+    recommended_query_cost: float = 0.0
+    recommended_transition_cost: float = 0.0
+    cumulative_recommended_work: float = 0.0
 
 
 @dataclass
@@ -56,6 +68,8 @@ class TuningResult:
     wall_time_seconds: float
     whatif_calls: int = 0
     optimizations: int = 0
+    #: Whether the recommended (immediate-adoption) series was tracked.
+    tracked_recommended: bool = False
 
     @property
     def total_work(self) -> float:
@@ -64,6 +78,27 @@ class TuningResult:
     @property
     def total_work_series(self) -> List[float]:
         return [point.cumulative_total_work for point in self.points]
+
+    @property
+    def recommended_total_work(self) -> float:
+        """Final immediate-adoption totWork (0.0 unless tracked)."""
+        return (
+            self.points[-1].cumulative_recommended_work if self.points else 0.0
+        )
+
+    @property
+    def recommended_total_work_series(self) -> List[float]:
+        return [point.cumulative_recommended_work for point in self.points]
+
+    @property
+    def adoption_lag_cost(self) -> float:
+        """Realized minus recommended totWork: what the DBA's lag cost.
+
+        Meaningful only for runs with ``track_recommended=True``; zero
+        lag (``adopt_period=1``) makes the two series — and so this —
+        exactly 0.0.
+        """
+        return self.total_work - self.recommended_total_work
 
     @property
     def final_configuration(self) -> FrozenSet[Index]:
@@ -99,6 +134,7 @@ def run_online(
     adopt_period: int = 1,
     lease_feedback: bool = True,
     optimizer=None,
+    track_recommended: bool = False,
 ) -> TuningResult:
     """Run ``algorithm`` over ``workload`` and account total work.
 
@@ -124,6 +160,13 @@ def run_online(
     optimizer:
         Optional :class:`~repro.optimizer.whatif.WhatIfOptimizer` whose
         call counters should be captured in the result.
+    track_recommended:
+        Also account every statement under the algorithm's
+        *instantaneous* recommendation (immediate adoption), filling the
+        ``recommended_*`` fields of each point — the reference series
+        the realized (lagged) one is compared against. Accounting-only:
+        it never feeds anything back to the algorithm, so the realized
+        series is bit-identical with the flag on or off.
     """
     if adopt_period < 1:
         raise ValueError("adopt_period must be >= 1")
@@ -131,6 +174,8 @@ def run_online(
     points: List[TuningPoint] = []
     in_effect = frozenset(initial_config)
     cumulative = 0.0
+    recommended_config = frozenset(initial_config)
+    recommended_cumulative = 0.0
     calls_before = optimizer.whatif_calls if optimizer is not None else 0
     optimizations_before = optimizer.optimizations if optimizer is not None else 0
     started = _perf_counter()
@@ -140,6 +185,24 @@ def run_online(
 
     for position, statement in enumerate(workload):
         algorithm.analyze_statement(statement)
+        # The recommended series samples the recommendation *here* —
+        # after analysis, before any feedback at this position — the
+        # same instant the service engine's recommended accounting does,
+        # so the two series cross-check exactly. recommend() is
+        # read-only: the realized series below is unaffected.
+        recommended_query_cost = 0.0
+        recommended_transition = 0.0
+        if track_recommended:
+            recommendation = algorithm.recommend()
+            if recommendation != recommended_config:
+                recommended_transition = transitions.delta(
+                    recommended_config, recommendation
+                )
+                recommended_config = recommendation
+            recommended_query_cost = cost_fn(statement, recommended_config)
+            recommended_cumulative += (
+                recommended_query_cost + recommended_transition
+            )
         for event in events.get(position, ()):
             algorithm.feedback(event.f_plus, event.f_minus)
 
@@ -161,10 +224,17 @@ def run_online(
             query_cost=query_cost,
             transition_cost=transition,
             cumulative_total_work=cumulative,
+            recommended_query_cost=recommended_query_cost,
+            recommended_transition_cost=recommended_transition,
+            cumulative_recommended_work=recommended_cumulative,
         ))
 
     elapsed = _perf_counter() - started
-    result = TuningResult(points=points, wall_time_seconds=elapsed)
+    result = TuningResult(
+        points=points,
+        wall_time_seconds=elapsed,
+        tracked_recommended=track_recommended,
+    )
     if optimizer is not None:
         result.whatif_calls = optimizer.whatif_calls - calls_before
         result.optimizations = optimizer.optimizations - optimizations_before

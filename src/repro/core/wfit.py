@@ -189,6 +189,12 @@ class WFIT:
         self._parallel_busy_seconds = 0.0  # guarded-by: _pool_lock
 
         self._n = 0  # statements analyzed so far
+        # DBA-interaction recency: how many feedback calls have been
+        # applied, and the statement count at the latest one. The
+        # service layer's adoption-lag reporting (and the Figure 11
+        # cross-check) read these; they never influence tuning.
+        self._feedback_count = 0
+        self._last_feedback_position: Optional[int] = None
         self.statistics = IndexStatistics(hist_size)
         self._universe: set = set(self._initial_config)  # U of Figure 6
         self.repartition_count = 0
@@ -236,6 +242,23 @@ class WFIT:
     @property
     def statements_analyzed(self) -> int:
         return self._n
+
+    @property
+    def feedback_count(self) -> int:
+        """How many feedback (vote) calls have been applied."""
+        return self._feedback_count
+
+    @property
+    def last_feedback_position(self) -> Optional[int]:
+        """Statements analyzed when feedback last arrived (None: never)."""
+        return self._last_feedback_position
+
+    @property
+    def feedback_lag(self) -> Optional[int]:
+        """Statements analyzed since the last feedback (None: never any)."""
+        if self._last_feedback_position is None:
+            return None
+        return self._n - self._last_feedback_position
 
     @property
     def tracked_states(self) -> int:
@@ -524,6 +547,8 @@ class WFIT:
         self._universe.update(plus)
         for instance in self._instances:
             instance.apply_feedback(plus, minus)
+        self._feedback_count += 1
+        self._last_feedback_position = self._n
         return self.recommend()
 
     def notify_materialized(self, created: AbstractSet[Index], dropped: AbstractSet[Index]) -> FrozenSet[Index]:
@@ -555,6 +580,8 @@ class WFIT:
             "auto": self._auto,
             "statements_analyzed": self._n,
             "repartition_count": self.repartition_count,
+            "feedback_count": self._feedback_count,
+            "last_feedback_position": self._last_feedback_position,
             "options": {
                 "idx_cnt": self.idx_cnt,
                 "state_cnt": self.state_cnt,
@@ -623,6 +650,13 @@ class WFIT:
         tuner._auto = auto
         tuner._n = int(state["statements_analyzed"])
         tuner.repartition_count = int(state["repartition_count"])
+        # Optional in pre-scheduler documents (STATE_VERSION unchanged:
+        # purely additive, reporting-only fields).
+        tuner._feedback_count = int(state.get("feedback_count", 0))
+        last_feedback = state.get("last_feedback_position")
+        tuner._last_feedback_position = (
+            None if last_feedback is None else int(last_feedback)
+        )
         tuner._universe = {
             Index.from_payload(p) for p in state["universe"]
         }

@@ -3,7 +3,11 @@
 Deployment-shaped packaging of the WFIT library: a
 :class:`~repro.service.engine.TuningEngine` multiplexes many concurrent
 client sessions over one shared WFIT core and one shared what-if optimizer
-(micro-batched single-writer ingest), with per-client audit logs and
+(micro-batched single-writer ingest over the priority-classed
+:class:`~repro.service.scheduler.IngestScheduler`: admission-controlled
+queues with typed :class:`~repro.service.scheduler.QueueFull`
+backpressure, a background task lane, and deterministic batch
+formation), with per-client audit logs and
 vote/materialization routing, versioned JSON checkpoint/restore
 (:mod:`repro.service.snapshot`), durable ingest — a submission
 write-ahead log plus atomic delta-checkpoint chains with crash recovery
@@ -12,6 +16,12 @@ write-ahead log plus atomic delta-checkpoint chains with crash recovery
 """
 
 from .engine import ClientSession, Recommendation, SessionEvent, TuningEngine
+from .scheduler import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    IngestScheduler,
+    QueueFull,
+)
 from .snapshot import (
     SNAPSHOT_VERSION,
     BrokenChain,
@@ -38,7 +48,11 @@ __all__ = [
     "ClientSession",
     "CorruptRecord",
     "CorruptSnapshot",
+    "DEFAULT_PRIORITY",
     "Durability",
+    "IngestScheduler",
+    "PRIORITIES",
+    "QueueFull",
     "Recommendation",
     "SNAPSHOT_VERSION",
     "SessionEvent",

@@ -3,6 +3,7 @@
 Three subcommands::
 
     python -m repro.service replay  [trace options] \
+        [--priority-map client-0=interactive,...] [--adopt-every T] \
         [--checkpoint-at K --checkpoint PATH] \
         [--durable-dir DIR [--checkpoint-every K] [--wal-fsync-ms MS]] \
         [--metrics-out PATH]
@@ -11,7 +12,12 @@ Three subcommands::
 
 ``replay`` deterministically generates the paper's phase-shifting workload,
 deals it across N simulated clients, and streams it through a
-:class:`~repro.service.engine.TuningEngine` (micro-batched ingest). With
+:class:`~repro.service.engine.TuningEngine` (micro-batched ingest).
+``--priority-map`` assigns per-session priority classes (drain order is
+priority-aware; the map is stashed with the trace parameters so verify
+references reproduce it), and ``--adopt-every T`` simulates the Figure 11
+lagged DBA — every report carries a ``"lag"`` block with the recommended
+vs. realized totWork series and adoption-lag counters. With
 ``--checkpoint-at K`` it serializes the engine after K statements; the
 trace parameters are stashed inside the checkpoint document, so ``resume``
 needs only the checkpoint file. With ``--durable-dir`` the run is durable:
@@ -46,6 +52,7 @@ from ..ioutil import atomic_write_json
 from ..optimizer.whatif import WhatIfOptimizer
 from ..workload import MultiClientTrace, generate_workload, scaled_phases
 from .engine import TuningEngine
+from .scheduler import normalize_priority
 from .snapshot import SnapshotError, load_checkpoint, save_checkpoint
 from .wal import Durability, WalError, latest_snapshot_document
 
@@ -63,6 +70,45 @@ def _trace_params(args: argparse.Namespace) -> Dict[str, object]:
         "clients": args.clients,
         "split": args.split,
         "limit": args.limit,
+        # Session priority classes ride along with the trace parameters:
+        # drain order (and so the recommendation sequence) depends on
+        # them, so resume/recover verification must rebuild its reference
+        # engine with the same classes.
+        "priority_map": _parse_priority_map(args.priority_map),
+    }
+
+
+def _parse_priority_map(raw: Optional[str]) -> Dict[str, str]:
+    """Parse ``client-0=interactive,client-1=background`` into a dict."""
+    if not raw:
+        return {}
+    out: Dict[str, str] = {}
+    for pair in raw.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        client, sep, priority = pair.partition("=")
+        if not sep:
+            raise ValueError(
+                f"--priority-map entry {pair!r} is not CLIENT=PRIORITY"
+            )
+        out[client.strip()] = normalize_priority(priority.strip())
+    return out
+
+
+def _apply_priority_map(
+    engine: TuningEngine, priority_map: Dict[str, str]
+) -> None:
+    for client, priority in sorted(priority_map.items()):
+        engine.session(client, priority=priority)
+
+
+def _lag_report(metrics: Dict[str, object]) -> Dict[str, object]:
+    """The report's lagged-DBA accounting block (from engine metrics)."""
+    return {
+        "total_work_recommended": metrics["total_work"],
+        "total_work_realized": metrics["realized_total_work"],
+        "adoption": metrics["adoption"],
     }
 
 
@@ -127,7 +173,11 @@ def _step_recommendations(
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    params = _trace_params(args)
+    try:
+        params = _trace_params(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     stats, trace = _build_trace(params)
     engine_options = {"idx_cnt": args.idx_cnt, "state_cnt": args.state_cnt}
     # workers is a runtime execution knob (bit-identical at any value), so
@@ -136,6 +186,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     engine = _build_engine(
         stats, args.batch_size, {**engine_options, "workers": args.workers}
     )
+    _apply_priority_map(engine, params["priority_map"])
 
     checkpoint_at = args.checkpoint_at
     if checkpoint_at is not None and not args.checkpoint:
@@ -146,6 +197,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return 2
     if args.checkpoint_every is not None and not args.durable_dir:
         print("--checkpoint-every requires --durable-dir DIR", file=sys.stderr)
+        return 2
+    if args.adopt_every is not None and (
+        checkpoint_at is not None or args.checkpoint_every is not None
+    ):
+        print(
+            "--adopt-every cannot be combined with --checkpoint-at or "
+            "--checkpoint-every (each imposes its own chunking)",
+            file=sys.stderr,
+        )
         return 2
 
     durability = None
@@ -181,11 +241,22 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             engine.submit_many(trace[start : start + every])
             engine.pump()
             durability.checkpoint(extra=durable_extra)
+    elif args.adopt_every is not None:
+        # Figure 11's lagged DBA, live: adopt the recommendation every T
+        # statements (T=1 grants full autonomy and casts no lease votes,
+        # mirroring run_online). The report's "lag" block then shows the
+        # realized-vs-recommended gap this lag cost.
+        every = max(1, args.adopt_every)
+        for start in range(0, len(trace), every):
+            engine.submit_many(trace[start : start + every])
+            engine.pump()
+            engine.adopt("dba", lease=every > 1)
     else:
         engine.submit_many(trace)
         engine.pump()
     elapsed = time.perf_counter() - started
 
+    metrics = engine.metrics()
     report = {
         "command": "replay",
         "trace": params,
@@ -195,7 +266,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "statements_per_sec": len(trace) / elapsed if elapsed else 0.0,
         "checkpoint": str(args.checkpoint) if checkpoint_at is not None else None,
         "checkpoint_at": checkpoint_at,
-        "metrics": engine.metrics(),
+        "adopt_every": args.adopt_every,
+        "lag": _lag_report(metrics),
+        "metrics": metrics,
     }
     if durability is not None:
         wal = durability.wal
@@ -241,13 +314,15 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     restored_recs = _step_recommendations(restored, trace.suffix(position))
     elapsed = time.perf_counter() - started
 
+    metrics = restored.metrics()
     report: Dict[str, object] = {
         "command": "resume",
         "trace": params,
         "resumed_at": position,
         "statements_replayed": len(trace) - position,
         "elapsed_seconds": elapsed,
-        "metrics": restored.metrics(),
+        "lag": _lag_report(metrics),
+        "metrics": metrics,
     }
 
     exit_code = 0
@@ -255,6 +330,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         reference = _build_engine(
             stats, int(document["batch_size"]), engine_options
         )
+        _apply_priority_map(reference, dict(params.get("priority_map") or {}))
         reference.submit_many(trace.prefix(position))
         reference.pump()
         reference_recs = _step_recommendations(
@@ -323,6 +399,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     end_position = engine.statements_processed
     elapsed = time.perf_counter() - started
 
+    metrics = engine.metrics()
     report: Dict[str, object] = {
         "command": "recover",
         "directory": str(args.dir),
@@ -331,7 +408,8 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         "recovered_at": start_position,
         "statements_replayed": end_position - start_position,
         "elapsed_seconds": elapsed,
-        "metrics": engine.metrics(),
+        "lag": _lag_report(metrics),
+        "metrics": metrics,
     }
 
     exit_code = 0
@@ -344,6 +422,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
             )
             return 2
         reference = _build_engine(stats, engine.batch_size, engine_options)
+        _apply_priority_map(reference, dict(params.get("priority_map") or {}))
         reference.submit_many(trace.prefix(start_position))
         reference.pump()
         reference_recs = _step_recommendations(
@@ -411,6 +490,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="WFIT monitored-index bound (default 16)")
     replay.add_argument("--state-cnt", type=int, default=128,
                         help="WFIT tracked-state bound (default 128)")
+    replay.add_argument("--priority-map", type=str, default=None,
+                        help="comma-separated CLIENT=PRIORITY session "
+                        "classes (interactive/normal/background), e.g. "
+                        "client-0=interactive,client-1=background")
+    replay.add_argument("--adopt-every", type=int, default=None,
+                        help="simulate a lagged DBA: adopt the current "
+                        "recommendation every T statements (1 = full "
+                        "autonomy); the report's \"lag\" block prices the "
+                        "lag (realized vs recommended totWork)")
     replay.add_argument("--checkpoint-at", type=int, default=None,
                         help="serialize the engine after this many statements")
     replay.add_argument("--checkpoint", type=str, default=None,

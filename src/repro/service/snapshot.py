@@ -136,10 +136,15 @@ def checkpoint_engine(
         # truncated away unreplayed.
         with engine._ingest_lock:
             clients = sorted(engine._clients.items())
-            pending = [
-                {"client_id": client_id, "sql": to_sql(statement)}
-                for client_id, statement in engine._queue
-            ]
+            pending = []
+            for entry in engine._scheduler.entries():
+                item: Dict[str, object] = {
+                    "client_id": entry.client_id,
+                    "sql": to_sql(entry.statement),
+                }
+                if entry.priority != "normal":
+                    item["priority"] = entry.priority
+                pending.append(item)
             wal = engine._wal
             wal_seq = wal.checkpoint_mark() if wal is not None else 0
         document: Dict[str, object] = {
@@ -149,6 +154,8 @@ def checkpoint_engine(
             "base_id": None,
             "wal_seq": wal_seq,
             "batch_size": engine.batch_size,
+            "background_batch_size": engine.background_batch_size,
+            "background_pacing": engine.background_pacing,
             "tuner": engine.tuner.export_state(),
             "universe_order": [
                 ix.to_payload()
@@ -164,16 +171,38 @@ def checkpoint_engine(
                 ],
                 "statements_processed": engine.statements_processed,
                 "batches_processed": engine.batches_processed,
+                # The realized (actual-adoption) totWork series. The
+                # charged prefix and the one statement whose realized
+                # cost is still open (deferred finalization — see
+                # TuningEngine.realized_total_work) are serialized
+                # separately so the restored engine finalizes it under
+                # whatever the materialized set is *then*, exactly as the
+                # uninterrupted run would have.
+                "realized_work": engine._realized_work,
+                "pending_realized_transition": engine._pending_transition,
+                "pending_realized": (
+                    None
+                    if engine._pending_realized is None
+                    else {
+                        "client_id": engine._pending_realized[0],
+                        "sql": to_sql(engine._pending_realized[1]),
+                    }
+                ),
+                "adoption_changes": engine._adoptions,
+                "last_adoption_position": engine._last_adoption_position,
             },
             "sessions": [
                 {
                     "client_id": state.client_id,
+                    "priority": state.priority,
                     "submitted": state.processed,
                     "processed": state.processed,
                     "events": [
                         [event.kind, event.detail, event.position]
                         for event in state.events
                     ],
+                    "recommended_work": state.recommended_work,
+                    "realized_work": state.realized_work,
                 }
                 for _, state in clients
             ],
@@ -336,6 +365,8 @@ def restore_engine(
         optimizer,
         transitions,
         batch_size=int(document["batch_size"]),
+        background_batch_size=int(document.get("background_batch_size", 1)),
+        background_pacing=float(document.get("background_pacing", 0.008)),
     )
     engine._tuner = WFIT.restore_state(
         optimizer, transitions, document["tuner"]
@@ -350,21 +381,56 @@ def restore_engine(
     )
     engine._statements_processed = int(accounting["statements_processed"])
     engine._batches_processed = int(accounting["batches_processed"])
+    # Realized (actual-adoption) totWork. Documents written before the
+    # series existed assumed immediate adoption throughout, under which
+    # the realized and recommended series coincide — seed from the
+    # recommended total.
+    engine._realized_work = float(
+        accounting.get("realized_work", accounting["total_work"])
+    )
+    engine._pending_transition = float(
+        accounting.get("pending_realized_transition", 0.0)
+    )
+    pending_realized = accounting.get("pending_realized")
+    if pending_realized is not None:
+        from ..query.parser import parse_statement
+
+        engine._pending_realized = (
+            str(pending_realized["client_id"]),
+            parse_statement(str(pending_realized["sql"])),
+        )
+    engine._adoptions = int(accounting.get("adoption_changes", 0))
+    last_adoption = accounting.get("last_adoption_position")
+    engine._last_adoption_position = (
+        None if last_adoption is None else int(last_adoption)
+    )
     for item in document["sessions"]:
         state = engine._client(str(item["client_id"]))
+        if item.get("priority") is not None:
+            state.priority = str(item["priority"])
         state.submitted = int(item["submitted"])
         state.processed = int(item["processed"])
         state.events = [
             SessionEvent(str(kind), str(detail), int(position))
             for kind, detail, position in item["events"]
         ]
+        state.recommended_work = float(item.get("recommended_work", 0.0))
+        state.realized_work = float(item.get("realized_work", 0.0))
     # Replay the pending queue (version ≥ 2; absent in version-1
     # documents) in submission order: the statements re-enter the queue
-    # un-analyzed, exactly as they stood at the snapshot point, and the
-    # next pump processes them. submit() re-increments the per-session
-    # submitted counters past the serialized processed counts.
+    # un-analyzed — priority classes included — exactly as they stood at
+    # the snapshot point, and the next pump processes them. submit()
+    # re-increments the per-session submitted counters past the
+    # serialized processed counts. Priorities are passed explicitly (an
+    # absent key means the entry was queued as "normal"), never left to
+    # the session default, which the lines above may have restored to a
+    # different class than the entry was admitted under.
     for item in document.get("pending", ()):
-        engine.submit(str(item["client_id"]), str(item["sql"]))
+        engine.submit(
+            str(item["client_id"]),
+            str(item["sql"]),
+            priority=str(item.get("priority", "normal")),
+        )
     return engine
 
 

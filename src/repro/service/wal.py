@@ -9,7 +9,13 @@ about. The classic fix is the classic database one:
 * every ingest-path mutation (``submit`` / ``submit_many`` / ``vote`` /
   ``materialize``) appends a record to an append-only log **before** the
   in-memory mutation, under the same lock acquisition, so log order
-  equals effect order;
+  equals effect order. Submissions carry their priority class when it is
+  not the default, and once any non-default class has been enqueued the
+  single writer also logs ``drain`` records — batch boundaries naming
+  the position, count, and eligible classes of each micro-batch — so
+  replay re-forms priority-interleaved batches exactly (an all-default
+  history needs none: it drains FIFO and the log format stays identical
+  to the pre-scheduler one);
 * records are length-prefixed and CRC32-checksummed — the header's
   length field carries its own CRC, so a torn final record (the expected
   artifact of crashing mid-append) is detected and tolerated, while
@@ -122,7 +128,7 @@ class WalRecord:
     """One decoded log record."""
 
     seq: int
-    kind: str            # "submit" | "submit_many" | "vote" | "materialize" | "floor"
+    kind: str            # "submit" | "submit_many" | "drain" | "vote" | "materialize" | "floor"
     payload: Dict[str, object]
     offset: int          # byte offset of the record header in the log
 
@@ -869,12 +875,42 @@ class Durability:
 
         data = record.payload
         if record.kind == "submit":
-            engine.submit(str(data["client_id"]), str(data["sql"]))
+            # Records written before the priority scheduler carry no
+            # "priority" key; so do new records whose resolved class was
+            # the default. Either way the entry was enqueued as "normal"
+            # — the session's *current* default must not apply, because
+            # by replay time it may have changed.
+            engine.submit(
+                str(data["client_id"]),
+                str(data["sql"]),
+                priority=str(data.get("priority", "normal")),
+            )
         elif record.kind == "submit_many":
             engine.submit_many(
-                (str(entry["client_id"]), str(entry["sql"]))
+                (
+                    str(entry["client_id"]),
+                    str(entry["sql"]),
+                    str(entry.get("priority", "normal")),
+                )
                 for entry in data["entries"]
             )
+        elif record.kind == "drain":
+            # A drain record is a logged batch boundary: the single
+            # writer popped `count` entries from the priority queues of
+            # `classes` at statement position `position`. Re-forming the
+            # batch with the same class filter and the same deterministic
+            # (priority, seq) order reproduces the original analysis
+            # order exactly, even when classes interleave.
+            Durability._pump_to(engine, int(data["position"]), record)
+            count = int(data["count"])
+            classes = tuple(str(c) for c in data.get("classes") or ())
+            processed = engine._replay_drain(count, classes)
+            if processed < count:
+                raise WalError(
+                    f"WAL drain record seq {record.seq} covers {count} "
+                    f"statements but only {processed} were queued in "
+                    f"classes {classes!r} — the log is missing submissions"
+                )
         elif record.kind == "vote":
             Durability._pump_to(engine, int(data["position"]), record)
             engine.vote(
@@ -894,7 +930,10 @@ class Durability:
                     str(data["client_id"]), Index.from_payload(data["index"])
                 )
             elif action == "adopt":
-                engine.adopt(str(data["client_id"]))
+                engine.adopt(
+                    str(data["client_id"]),
+                    lease=bool(data.get("lease", True)),
+                )
             else:
                 raise WalError(
                     f"unknown materialize action {action!r} (seq {record.seq})"
@@ -914,7 +953,13 @@ class Durability:
                 f"({engine.statements_processed})"
             )
         if deficit:
-            pumped = engine.pump(deficit)
+            # Catch up in pure arrival (FIFO) order, not priority order:
+            # this deficit covers pre-scheduler history or an all-default
+            # prefix with no drain records, where every entry was
+            # "normal" and drained FIFO. Priority-order popping here
+            # could steal later re-enqueued higher-class submissions
+            # that did not exist at the original drain time.
+            pumped = engine._pump_fifo(deficit)
             if pumped < deficit:
                 raise WalError(
                     f"WAL record seq {record.seq} expects statement position "

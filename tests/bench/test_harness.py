@@ -7,6 +7,7 @@ import pytest
 from repro.bench import (
     FigureResult,
     figure11_lag,
+    figure11_lag_engine,
     figure8_baseline,
     get_context,
 )
@@ -79,3 +80,15 @@ class TestFigureDrivers:
         result = figure11_lag(tiny_context, lags=(1, 6))
         assert "WFIT" in result.curves
         assert "LAG 6" in result.curves
+
+    def test_figure11_engine_accounting_is_bit_identical(self, tiny_context):
+        """The service engine's realized-totWork accounting reproduces the
+        offline Figure 11 experiment exactly — same curves, bit for bit
+        (the ISSUE 10 cross-check: both series accumulate one
+        ``cost + transition`` sum per statement, so there is no float
+        grouping to diverge)."""
+        offline = figure11_lag(tiny_context, lags=(1, 6))
+        engine = figure11_lag_engine(tiny_context, lags=(1, 6))
+        assert set(engine.curves) == set(offline.curves)
+        for label, series in offline.curves.items():
+            assert engine.curves[label] == series, f"{label} diverged"

@@ -252,12 +252,15 @@ def test_repo_suppression_budget():
 def test_deterministic_zones_declared():
     # The zone map from ISSUE 8: core/, optimizer/, ibg/, service/snapshot.py
     # — plus service/wal.py since ISSUE 9 (recovery replay must be
-    # deterministic for step-identity to hold).
+    # deterministic for step-identity to hold) and service/scheduler.py
+    # since ISSUE 10 (batch formation must be a pure function of queue
+    # content for drain-record replay to reproduce analysis order).
     expected = (
         list((REPO_ROOT / "src/repro/core").glob("*.py"))
         + list((REPO_ROOT / "src/repro/optimizer").glob("*.py"))
         + list((REPO_ROOT / "src/repro/ibg").glob("*.py"))
         + [
+            REPO_ROOT / "src/repro/service/scheduler.py",
             REPO_ROOT / "src/repro/service/snapshot.py",
             REPO_ROOT / "src/repro/service/wal.py",
         ]
